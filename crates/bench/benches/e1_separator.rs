@@ -1,0 +1,30 @@
+//! E1 — Theorem 2: staircase separator construction.
+//! Paper claim: O(log n) time, O(n) work, balance within [n/8, 7n/8], O(n) segments.
+//! The bench sweeps n and records wall-clock time; balance/size are asserted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsp_core::separator::find_separator_unbounded;
+use rsp_workload::{clustered, uniform_disjoint};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_separator");
+    for &n in &[128usize, 512, 2048, 8192] {
+        let w = uniform_disjoint(n, 1);
+        group.bench_with_input(BenchmarkId::new("uniform", n), &w.obstacles, |b, obs| {
+            b.iter(|| {
+                let sep = find_separator_unbounded(obs).unwrap();
+                assert!(sep.is_theorem2_balanced(obs.len()));
+                assert!(sep.chain.num_segments() <= 2 * obs.len() + 4);
+                sep.max_side()
+            })
+        });
+        let w = clustered(n, 4, 2);
+        group.bench_with_input(BenchmarkId::new("clustered", n), &w.obstacles, |b, obs| {
+            b.iter(|| find_separator_unbounded(obs).map(|s| s.max_side()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

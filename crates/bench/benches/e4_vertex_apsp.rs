@@ -1,0 +1,30 @@
+//! E4 — Section 6: the V_R-to-V_R and B(P)-to-V_R structures.
+//! Paper claim: O(n^2 log n)-ish work overall; the bench sweeps n for the
+//! parallel builder and the boundary-to-vertex structure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsp_core::apsp::{BoundaryToVertex, VertexApsp};
+use rsp_geom::Point;
+use rsp_workload::uniform_disjoint;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_vertex_apsp");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let w = uniform_disjoint(n, 13);
+        group.bench_with_input(BenchmarkId::new("vr_to_vr_parallel", n), &w.obstacles, |b, obs| {
+            b.iter(|| VertexApsp::build(obs).len())
+        });
+        let bbox = w.obstacles.bbox().unwrap().expand(5);
+        let boundary: Vec<Point> = (0..32)
+            .map(|i| Point::new(bbox.xmin + (bbox.width() * i as i64) / 32, bbox.ymin))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("bp_to_vr", n), &w.obstacles, |b, obs| {
+            b.iter(|| BoundaryToVertex::build(obs, &boundary).vertices().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

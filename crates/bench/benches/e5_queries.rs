@@ -1,0 +1,40 @@
+//! E5 — Section 6.4: query latency.
+//! Paper claim: O(1) per vertex-pair query, O(log n) per arbitrary-point
+//! query.  The bench measures per-query latency for both kinds as n grows;
+//! the vertex-pair latency should stay flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsp_core::query::PathLengthOracle;
+use rsp_workload::{query_pairs, uniform_disjoint};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_queries");
+    for &n in &[32usize, 64, 128, 256] {
+        let w = uniform_disjoint(n, 5);
+        let oracle = PathLengthOracle::build(&w.obstacles);
+        let vertex_queries = query_pairs(&w.obstacles, 512, true, 1);
+        let point_queries = query_pairs(&w.obstacles, 512, false, 2);
+        group.bench_with_input(BenchmarkId::new("vertex_pair", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &(p, q) in &vertex_queries {
+                    acc += oracle.vertex_distance(p, q).unwrap_or(0);
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("arbitrary_points", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &(p, q) in &point_queries {
+                    acc += oracle.distance(p, q);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E6 — Section 8: reporting actual paths.
+//! Paper claim: a k-segment path is reported with O(log n + k) work, or in
+//! O(log n) time by ceil(k / log n) processors.  The bench stratifies queries
+//! by path complexity (corridor workloads force large k) and measures both
+//! whole-path extraction and chunked parallel extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsp_core::query::PathLengthOracle;
+use rsp_core::sptree::ShortestPathTrees;
+use rsp_workload::corridors;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_report_path");
+    group.sample_size(20);
+    for &walls in &[4usize, 8, 16, 32] {
+        let w = corridors(walls, 120, 3);
+        let verts = w.obstacles.vertices();
+        let source = verts[0];
+        let target = *verts.last().unwrap();
+        let trees = ShortestPathTrees::from_oracle(PathLengthOracle::build(&w.obstacles), Some(&[source]));
+        let k = trees.path_between(source, target).unwrap().num_segments();
+        group.bench_with_input(BenchmarkId::new(format!("full_path_k{k}"), walls), &walls, |b, _| {
+            b.iter(|| trees.path_between(source, target).unwrap().num_segments())
+        });
+        group.bench_with_input(BenchmarkId::new(format!("chunked_k{k}"), walls), &walls, |b, _| {
+            b.iter(|| trees.path_chunks(source, target, 8).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E7 — Section 7: the |P| = N >> n case.
+//! Paper claim: O(N) instead of O(N^2) extra work by representing the
+//! boundary-to-boundary lengths implicitly.  The bench grows N with n fixed
+//! and measures construction time and the size of the implicit structure
+//! (the explicit N x N matrix is reported analytically — materialising it is
+//! exactly what the paper avoids).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsp_core::bigp::BigPolygonStructure;
+use rsp_workload::uniform_disjoint;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_big_polygon");
+    group.sample_size(10);
+    for &big_n in &[10_000usize, 100_000, 1_000_000] {
+        for &n in &[64usize, 256] {
+            let w = uniform_disjoint(n, 9);
+            let container = w.obstacles.bbox().unwrap().expand(1000);
+            group.bench_with_input(BenchmarkId::new(format!("implicit_n{n}"), big_n), &big_n, |b, &nn| {
+                b.iter(|| {
+                    let s = BigPolygonStructure::build(&w.obstacles, container, nn);
+                    assert!(s.implicit_entries() < nn.saturating_mul(nn));
+                    s.implicit_entries()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

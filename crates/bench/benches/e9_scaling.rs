@@ -1,0 +1,29 @@
+//! E9 — Brent's theorem in practice: wall-clock speedup of the parallel
+//! builders as a function of the number of worker threads.
+//! Paper claim: with W work and T depth, p processors give O(W/p + T);
+//! the curve should be near-linear until p approaches the memory bandwidth
+//! or the critical path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsp_core::apsp::VertexApsp;
+use rsp_core::dnc::{build_boundary_matrix_bbox, DncOptions};
+use rsp_pram::pool::run_on_pool;
+use rsp_workload::uniform_disjoint;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_thread_scaling");
+    group.sample_size(10);
+    let w = uniform_disjoint(96, 21);
+    for &threads in &[1usize, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("vertex_apsp", threads), &threads, |b, &p| {
+            b.iter(|| run_on_pool(p, || VertexApsp::build(&w.obstacles).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("boundary_dnc", threads), &threads, |b, &p| {
+            b.iter(|| run_on_pool(p, || build_boundary_matrix_bbox(&w.obstacles, 3, &DncOptions::default()).stats.nodes))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmark harness (see benches/).

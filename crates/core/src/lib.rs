@@ -1,0 +1,46 @@
+//! # rsp-core — Parallel rectilinear shortest paths with rectangular obstacles
+//!
+//! This crate implements the algorithms of Atallah & Chen (1991):
+//!
+//! * [`instance`] — problem instances: a rectilinearly convex container `P`
+//!   holding `n` pairwise-disjoint rectangular obstacles.
+//! * [`trace`] — the eight escape paths `NE(p), NW(p), ..., WS(p)` of
+//!   Section 3 (Path Tracing Lemma 6) and their staircase combinations.
+//! * [`separator`] — the Staircase Separator Theorem (Theorem 2): an
+//!   obstacle-avoiding staircase splitting `R` into two parts of size at most
+//!   `7n/8` each, found with `O(n)` work.
+//! * [`dnc`] — Section 5: the divide-and-conquer construction of the
+//!   boundary-to-boundary path-length matrix `D_Q`, with the conquer step
+//!   performed by Monge (min,+) products across the separator.
+//! * [`apsp`] — Section 6: the vertex-to-vertex (`V_R`-to-`V_R`) and
+//!   vertex-to-boundary length structures.
+//! * [`seq`] — Section 9: the `O(n^2)` sequential construction based on
+//!   topological relaxation of monotone DAGs (also the per-source routine the
+//!   parallel `apsp` fans out over).
+//! * [`query`] — Section 6.4: the query oracle (O(1) vertex–vertex queries,
+//!   `O(log n)` arbitrary-point queries via ray shooting).
+//! * [`sptree`] — Section 8: shortest-path trees and actual path reporting.
+//! * [`bigp`] — Section 7: the implicit structure for `|P| = N >> n`.
+//! * [`baseline`] — comparators: Hanan-grid ground truth, sparse track-graph
+//!   Dijkstra (the de Rezende–Lee–Wu-style single-source algorithm [11]) and
+//!   the repeated-SSSP all-pairs baseline.
+//! * [`tree`] — the recursion tree of Section 6.1 (inspection / rendering).
+
+pub mod apsp;
+pub mod baseline;
+pub mod bigp;
+pub mod dnc;
+pub mod instance;
+pub mod query;
+pub mod separator;
+pub mod seq;
+pub mod sptree;
+pub mod trace;
+pub mod tree;
+
+pub use apsp::VertexApsp;
+pub use dnc::{build_boundary_matrix, BoundaryMatrix, DncOptions};
+pub use instance::Instance;
+pub use query::PathLengthOracle;
+pub use separator::{find_separator, Separator};
+pub use sptree::ShortestPathTrees;

@@ -1,0 +1,386 @@
+//! Section 6.4: the query oracle.
+//!
+//! * A length query between two *obstacle vertices* is one lookup in the
+//!   `V_R`-to-`V_R` matrix — `O(1)`.
+//! * For arbitrary query points the paper augments the structure with the
+//!   precomputed escape paths `X(v)` of every vertex (Section 6.1) and two
+//!   ray-shooting subdivisions.  A query `(p, q)` with `q ∈ V_R` then reduces
+//!   to: shoot a horizontal and a vertical ray from `p` towards `q`; if the
+//!   ray reaches the escape staircase of `q` that points into `p`'s quadrant
+//!   before any obstacle, the answer is `d(p, q)`; otherwise the answer goes
+//!   through one of the two endpoints of the first obstacle edge hit
+//!   (argument from [11], restated in Section 6.4).  Taking the minimum of
+//!   the horizontal and the vertical reduction removes the need to test which
+//!   side of the staircase `p` lies on: for the correct side the reduction is
+//!   exact and for the other side it still produces a valid (not shorter)
+//!   path length.
+//! * When both endpoints are arbitrary, the escape staircase of `q` is
+//!   assembled on the fly from one ray shot plus the precomputed staircase of
+//!   an obstacle corner, and the edge-endpoint distances recurse into the
+//!   one-arbitrary-endpoint case (recursion depth at most two).
+
+use crate::apsp::VertexApsp;
+use crate::instance::Instance;
+use crate::trace::{escape_path, EscapeKind};
+use rsp_geom::rayshoot::ShootIndex;
+use rsp_geom::{Chain, Coord, Dir, Dist, ObstacleSet, Point, Rect, StairRegion, INF};
+use std::collections::HashMap;
+
+/// Far-away sentinel used to extend clipped escape staircases back to
+/// "unbounded" ones.
+const FAR: Coord = 1 << 40;
+
+/// The query data structure of Section 6.4.
+pub struct PathLengthOracle {
+    obstacles: ObstacleSet,
+    apsp: VertexApsp,
+    index: ShootIndex,
+    /// `chains[k][v]` — escape staircase of vertex `v` into quadrant `k`
+    /// (0 = NE, 1 = NW, 2 = SE, 3 = SW), extended to infinity.
+    chains: [Vec<Chain>; 4],
+    vertex_id: HashMap<Point, usize>,
+}
+
+pub(crate) fn quadrant_of(from: Point, to: Point) -> usize {
+    // quadrant of `to` relative to `from`
+    match (to.x >= from.x, to.y >= from.y) {
+        (true, true) => 0,   // NE
+        (false, true) => 1,  // NW
+        (true, false) => 2,  // SE
+        (false, false) => 3, // SW
+    }
+}
+
+fn kind_for_quadrant(q: usize) -> EscapeKind {
+    match q {
+        0 => EscapeKind::NE,
+        1 => EscapeKind::NW,
+        2 => EscapeKind::SE,
+        _ => EscapeKind::SW,
+    }
+}
+
+/// Extend a clipped escape path back to an unbounded staircase by prolonging
+/// its final segment to a far sentinel.
+fn extend_to_far(chain: &Chain, primary: Dir) -> Chain {
+    let mut pts = chain.points().to_vec();
+    let last = *pts.last().unwrap();
+    let far_point = match primary {
+        Dir::North => Point::new(last.x, FAR),
+        Dir::South => Point::new(last.x, -FAR),
+        Dir::East => Point::new(FAR, last.y),
+        Dir::West => Point::new(-FAR, last.y),
+    };
+    if far_point != last {
+        pts.push(far_point);
+    }
+    Chain::new(pts)
+}
+
+impl PathLengthOracle {
+    /// Build the oracle: the vertex matrix, the ray-shooting index and the
+    /// `4 · 4n` precomputed escape staircases of Section 6.1.
+    pub fn build(obstacles: &ObstacleSet) -> Self {
+        Self::from_apsp(obstacles, VertexApsp::build(obstacles))
+    }
+
+    /// Build from an existing vertex matrix.
+    pub fn from_apsp(obstacles: &ObstacleSet, apsp: VertexApsp) -> Self {
+        let index = ShootIndex::build(obstacles);
+        let bbox = obstacles.bbox().unwrap_or(Rect::new(0, 0, 1, 1)).expand(8);
+        let region = StairRegion::from_rect(bbox);
+        let vertices = apsp.vertices().to_vec();
+        let build_chains = |kind: EscapeKind| -> Vec<Chain> {
+            vertices
+                .iter()
+                .map(|&v| extend_to_far(&escape_path(obstacles, &index, &region, v, kind), kind.primary))
+                .collect()
+        };
+        let chains = [
+            build_chains(EscapeKind::NE),
+            build_chains(EscapeKind::NW),
+            build_chains(EscapeKind::SE),
+            build_chains(EscapeKind::SW),
+        ];
+        let mut vertex_id = HashMap::with_capacity(vertices.len());
+        for (i, &p) in vertices.iter().enumerate() {
+            vertex_id.entry(p).or_insert(i);
+        }
+        PathLengthOracle { obstacles: obstacles.clone(), apsp, index, chains, vertex_id }
+    }
+
+    /// Convenience constructor from an [`Instance`].
+    pub fn build_for(instance: &Instance) -> Self {
+        Self::build(instance.obstacles())
+    }
+
+    /// The underlying vertex matrix.
+    pub fn apsp(&self) -> &VertexApsp {
+        &self.apsp
+    }
+
+    /// Number of obstacles.
+    pub fn n(&self) -> usize {
+        self.obstacles.len()
+    }
+
+    /// The obstacle set the oracle was built for.
+    pub fn obstacles(&self) -> &ObstacleSet {
+        &self.obstacles
+    }
+
+    /// The precomputed escape staircase of vertex `vertex_index` into
+    /// quadrant `quadrant` (0 = NE, 1 = NW, 2 = SE, 3 = SW) — the `X(v)`
+    /// paths of Section 6.1, reused by the shortest-path trees of Section 8.
+    pub fn escape_chain(&self, vertex_index: usize, quadrant: usize) -> &Chain {
+        &self.chains[quadrant][vertex_index]
+    }
+
+    /// Shared ray-shooting index.
+    pub(crate) fn shoot_index(&self) -> &ShootIndex {
+        &self.index
+    }
+
+    /// If some one-bend (L-shaped) path between `a` and `b` is clear of
+    /// obstacle interiors, return its bend point.
+    pub fn l_connection(&self, a: Point, b: Point) -> Option<Point> {
+        for bend in [Point::new(b.x, a.y), Point::new(a.x, b.y)] {
+            if self.segment_clear(a, bend) && self.segment_clear(bend, b) {
+                return Some(bend);
+            }
+        }
+        None
+    }
+
+    fn segment_clear(&self, a: Point, b: Point) -> bool {
+        if a == b {
+            return true;
+        }
+        let dir = if a.x == b.x {
+            if b.y > a.y {
+                Dir::North
+            } else {
+                Dir::South
+            }
+        } else if b.x > a.x {
+            Dir::East
+        } else {
+            Dir::West
+        };
+        match self.index.shoot(a, dir) {
+            None => true,
+            Some(hit) => hit.distance_from(a) >= a.l1(b),
+        }
+    }
+
+    /// O(1) query for two obstacle vertices.  `None` if either point is not
+    /// an obstacle vertex.
+    pub fn vertex_distance(&self, a: Point, b: Point) -> Option<Dist> {
+        if self.vertex_id.contains_key(&a) && self.vertex_id.contains_key(&b) {
+            Some(self.apsp.distance_between(a, b))
+        } else {
+            None
+        }
+    }
+
+    /// Length of a shortest obstacle-avoiding path between two arbitrary
+    /// points (`INF` if either lies strictly inside an obstacle).
+    pub fn distance(&self, p: Point, q: Point) -> Dist {
+        if self.obstacles.containing_obstacle(p).is_some() || self.obstacles.containing_obstacle(q).is_some() {
+            return INF;
+        }
+        if p == q {
+            return 0;
+        }
+        if let Some(&qi) = self.vertex_id.get(&q) {
+            if self.vertex_id.contains_key(&p) {
+                return self.apsp.distance_between(p, q);
+            }
+            return self.distance_to_vertex(p, qi);
+        }
+        if let Some(&pi) = self.vertex_id.get(&p) {
+            return self.distance_to_vertex(q, pi);
+        }
+        // both arbitrary: assemble q's escape staircase on the fly and reduce
+        let chain = self.on_the_fly_chain(q, quadrant_of(q, p));
+        self.reduce(p, q, &chain, |v| self.distance_to_vertex(q, self.vertex_id[&v]))
+    }
+
+    /// Distance from an arbitrary point `p` to vertex number `qi`.
+    fn distance_to_vertex(&self, p: Point, qi: usize) -> Dist {
+        let q = self.apsp.vertices()[qi];
+        if p == q {
+            return 0;
+        }
+        let chain = &self.chains[quadrant_of(q, p)][qi];
+        self.reduce(p, q, chain, |v| self.apsp.distance_between(v, q))
+    }
+
+    /// The core reduction of Section 6.4: from `p`, shoot towards `q` both
+    /// horizontally and vertically; each shot yields either the direct
+    /// distance (if the staircase `chain` emanating from `q` is reached
+    /// before any obstacle) or a detour through the endpoints of the blocking
+    /// edge, whose distances to `q` are supplied by `to_q`.
+    fn reduce(&self, p: Point, q: Point, chain: &Chain, to_q: impl Fn(Point) -> Dist) -> Dist {
+        let mut best = INF;
+        // Horizontal shot.
+        let hdir = if q.x <= p.x { Dir::West } else { Dir::East };
+        best = best.min(self.one_shot(p, q, chain, hdir, &to_q));
+        // Vertical shot.
+        let vdir = if q.y <= p.y { Dir::South } else { Dir::North };
+        best = best.min(self.one_shot(p, q, chain, vdir, &to_q));
+        best
+    }
+
+    fn one_shot(&self, p: Point, q: Point, chain: &Chain, dir: Dir, to_q: &impl Fn(Point) -> Dist) -> Dist {
+        let hit = self.index.shoot(p, dir);
+        let obstacle_distance = hit.map(|h| h.distance_from(p));
+        // distance along the ray at which the chain is first met
+        let chain_distance: Option<Dist> = match dir {
+            Dir::West | Dir::East => chain.intersect_horizontal(p.y).and_then(|(lo, hi)| {
+                if dir == Dir::West {
+                    if hi <= p.x {
+                        Some(p.x - hi)
+                    } else if lo <= p.x {
+                        Some(0)
+                    } else {
+                        None
+                    }
+                } else if lo >= p.x {
+                    Some(lo - p.x)
+                } else if hi >= p.x {
+                    Some(0)
+                } else {
+                    None
+                }
+            }),
+            Dir::North | Dir::South => chain.intersect_vertical(p.x).and_then(|(lo, hi)| {
+                if dir == Dir::South {
+                    if hi <= p.y {
+                        Some(p.y - hi)
+                    } else if lo <= p.y {
+                        Some(0)
+                    } else {
+                        None
+                    }
+                } else if lo >= p.y {
+                    Some(lo - p.y)
+                } else if hi >= p.y {
+                    Some(0)
+                } else {
+                    None
+                }
+            }),
+        };
+        match (chain_distance, obstacle_distance) {
+            (Some(cd), od) if od.map_or(true, |o| cd <= o) => p.l1(q),
+            (_, Some(_)) => {
+                let hitinfo = hit.unwrap();
+                let r = self.obstacles.rect(hitinfo.rect);
+                let (v1, v2) = match dir {
+                    Dir::West => (r.lr(), r.ur()),
+                    Dir::East => (r.ll(), r.ul()),
+                    Dir::South => (r.ul(), r.ur()),
+                    Dir::North => (r.ll(), r.lr()),
+                };
+                let mut best = INF;
+                for v in [v1, v2] {
+                    let tail = to_q(v);
+                    if tail < INF {
+                        best = best.min(p.l1(v) + tail);
+                    }
+                }
+                best
+            }
+            _ => INF,
+        }
+    }
+
+    /// Assemble the escape staircase of an arbitrary point `q` into quadrant
+    /// `quad`: shoot the primary direction once; if an obstacle is hit, walk
+    /// along it to the corner and continue with that corner's precomputed
+    /// staircase.
+    fn on_the_fly_chain(&self, q: Point, quad: usize) -> Chain {
+        let kind = kind_for_quadrant(quad);
+        match self.index.shoot(q, kind.primary) {
+            None => extend_to_far(&Chain::singleton(q), kind.primary),
+            Some(hit) => {
+                let r = self.obstacles.rect(hit.rect);
+                let corner = r.corner(
+                    if kind.primary.is_vertical() { kind.primary.opposite() } else { kind.policy },
+                    if kind.primary.is_vertical() { kind.policy } else { kind.primary.opposite() },
+                );
+                let prefix = Chain::new(vec![q, hit.point, corner]);
+                let corner_chain = &self.chains[quad][self.vertex_id[&corner]];
+                prefix.concat(corner_chain)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_geom::hanan::ground_truth_distance;
+    use rsp_workload::{query_pairs, uniform_disjoint};
+
+    #[test]
+    fn vertex_queries_are_exact() {
+        let w = uniform_disjoint(10, 3);
+        let oracle = PathLengthOracle::build(&w.obstacles);
+        let verts = w.obstacles.vertices();
+        for i in (0..verts.len()).step_by(3) {
+            for j in (0..verts.len()).step_by(5) {
+                let expect = ground_truth_distance(&w.obstacles, verts[i], verts[j]);
+                assert_eq!(oracle.vertex_distance(verts[i], verts[j]), Some(expect));
+                assert_eq!(oracle.distance(verts[i], verts[j]), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_point_queries_match_ground_truth() {
+        for seed in 0..4 {
+            let w = uniform_disjoint(8, seed);
+            let oracle = PathLengthOracle::build(&w.obstacles);
+            for (a, b) in query_pairs(&w.obstacles, 40, false, seed + 100) {
+                let expect = ground_truth_distance(&w.obstacles, a, b);
+                assert_eq!(oracle.distance(a, b), expect, "seed {seed}: {:?} -> {:?}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_vertex_and_arbitrary_queries() {
+        let w = uniform_disjoint(9, 11);
+        let oracle = PathLengthOracle::build(&w.obstacles);
+        let verts = w.obstacles.vertices();
+        for (a, _) in query_pairs(&w.obstacles, 25, false, 5) {
+            for &v in verts.iter().step_by(7) {
+                let expect = ground_truth_distance(&w.obstacles, a, v);
+                assert_eq!(oracle.distance(a, v), expect, "{:?} -> {:?}", a, v);
+                assert_eq!(oracle.distance(v, a), expect, "{:?} -> {:?}", v, a);
+            }
+        }
+    }
+
+    #[test]
+    fn query_inside_obstacle_is_inf() {
+        let obs = ObstacleSet::new(vec![Rect::new(0, 0, 10, 10)]);
+        let oracle = PathLengthOracle::build(&obs);
+        assert_eq!(oracle.distance(Point::new(5, 5), Point::new(20, 20)), INF);
+        assert_eq!(oracle.vertex_distance(Point::new(5, 5), Point::new(0, 0)), None);
+    }
+
+    #[test]
+    fn identical_and_simple_pairs() {
+        let obs = ObstacleSet::new(vec![Rect::new(5, 5, 8, 8)]);
+        let oracle = PathLengthOracle::build(&obs);
+        assert_eq!(oracle.distance(Point::new(1, 1), Point::new(1, 1)), 0);
+        assert_eq!(oracle.distance(Point::new(0, 0), Point::new(4, 9)), 13);
+        // around the square: opposite edge midpoints
+        assert_eq!(oracle.distance(Point::new(4, 6), Point::new(9, 6)), 5 + 2 * 1);
+        // corner to corner along the boundary
+        assert_eq!(oracle.distance(Point::new(5, 5), Point::new(8, 8)), 6);
+    }
+}

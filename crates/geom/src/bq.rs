@@ -1,0 +1,181 @@
+//! Boundary discretisations of a convex clear region `Q`.
+//!
+//! The paper (Definition 1, Fig. 3) defines `B(Q)` as the vertices of `Q`
+//! together with the boundary points that are horizontally or vertically
+//! visible from an obstacle vertex or a vertex of `Q`.  `|B(Q)| =
+//! O(|Q| + |R'|)`.
+//!
+//! The divide-and-conquer implementation in `rsp-core` uses a slightly larger
+//! but simpler set `B'(Q)`: the boundary points lying on the coordinate grid
+//! of the obstacle vertices and the region vertices
+//! ([`StairRegion::boundary_grid_points`]).  `B(Q) ⊆ B'(Q)` and
+//! `|B'(Q)| = O(|Q| + |R'|)` still holds, which preserves all the complexity
+//! bounds while making the Monge-product conquer easier to state.  This
+//! module provides the faithful `B(Q)` (used in tests and the figure
+//! gallery) plus ordering helpers shared by both notions.
+
+use crate::point::{Coord, Dir, Point};
+use crate::rayshoot::shoot_naive;
+use crate::rect::ObstacleSet;
+use crate::region::StairRegion;
+
+/// First intersection of a ray from `p` in direction `dir` with the region
+/// boundary, for a point `p` inside the (rectilinearly convex) region.
+pub fn boundary_exit(region: &StairRegion, p: Point, dir: Dir) -> Option<Point> {
+    let mut best: Option<Point> = None;
+    for (a, b) in region.edges() {
+        let hit = match dir {
+            Dir::North => {
+                (a.y == b.y && a.y >= p.y && a.x.min(b.x) <= p.x && p.x <= a.x.max(b.x)).then(|| Point::new(p.x, a.y))
+            }
+            Dir::South => {
+                (a.y == b.y && a.y <= p.y && a.x.min(b.x) <= p.x && p.x <= a.x.max(b.x)).then(|| Point::new(p.x, a.y))
+            }
+            Dir::East => {
+                (a.x == b.x && a.x >= p.x && a.y.min(b.y) <= p.y && p.y <= a.y.max(b.y)).then(|| Point::new(a.x, p.y))
+            }
+            Dir::West => {
+                (a.x == b.x && a.x <= p.x && a.y.min(b.y) <= p.y && p.y <= a.y.max(b.y)).then(|| Point::new(a.x, p.y))
+            }
+        };
+        if let Some(h) = hit {
+            if h == p {
+                continue;
+            }
+            if best.map_or(true, |b0| h.l1(p) < b0.l1(p)) {
+                best = Some(h);
+            }
+        }
+    }
+    best
+}
+
+/// The paper's `B(Q)` (Definition 1): vertices of `Q` plus boundary points
+/// horizontally/vertically visible from obstacle vertices or region vertices.
+/// Returned in counterclockwise boundary order.
+pub fn visibility_discretization(region: &StairRegion, obstacles: &ObstacleSet) -> Vec<Point> {
+    let mut points: Vec<Point> = region.vertices().to_vec();
+    let mut sources: Vec<Point> = obstacles.vertices();
+    sources.extend(region.vertices().iter().copied());
+    for &v in &sources {
+        if !region.contains(v) {
+            continue;
+        }
+        for dir in Dir::ALL {
+            let exit = match boundary_exit(region, v, dir) {
+                Some(e) => e,
+                None => continue,
+            };
+            // the segment from v to the boundary must not cross an obstacle
+            // interior and must not cross the boundary earlier (guaranteed by
+            // taking the first exit), i.e. v must "see" the boundary point.
+            let blocked = match shoot_naive(obstacles, v, dir, None) {
+                Some(hit) => hit.distance_from(v) < exit.l1(v),
+                None => false,
+            };
+            if !blocked {
+                points.push(exit);
+            }
+        }
+    }
+    order_along_boundary(region, points)
+}
+
+/// Order a set of boundary points counterclockwise along the region boundary
+/// (deduplicating).  Points not on the boundary are dropped.
+pub fn order_along_boundary(region: &StairRegion, mut points: Vec<Point>) -> Vec<Point> {
+    points.retain(|&p| region.on_boundary(p));
+    points.sort_by_key(|&p| boundary_arc_position(region, p).unwrap());
+    points.dedup();
+    points
+}
+
+/// Arc-length position of a boundary point along the counterclockwise walk
+/// starting at vertex 0.
+pub fn boundary_arc_position(region: &StairRegion, p: Point) -> Option<Coord> {
+    let idx = region.locate_on_boundary(p)?;
+    let verts = region.vertices();
+    let mut acc: Coord = 0;
+    for i in 0..idx {
+        acc += verts[i].l1(verts[(i + 1) % verts.len()]);
+    }
+    Some(acc + verts[idx].l1(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+    use crate::rect::Rect;
+
+    fn setup() -> (StairRegion, ObstacleSet) {
+        let region = StairRegion::from_rect(Rect::new(0, 0, 12, 10));
+        let obstacles = ObstacleSet::new(vec![Rect::new(3, 3, 5, 7), Rect::new(8, 2, 10, 4)]);
+        (region, obstacles)
+    }
+
+    #[test]
+    fn boundary_exit_directions() {
+        let (region, _) = setup();
+        assert_eq!(boundary_exit(&region, pt(6, 5), Dir::North), Some(pt(6, 10)));
+        assert_eq!(boundary_exit(&region, pt(6, 5), Dir::South), Some(pt(6, 0)));
+        assert_eq!(boundary_exit(&region, pt(6, 5), Dir::East), Some(pt(12, 5)));
+        assert_eq!(boundary_exit(&region, pt(6, 5), Dir::West), Some(pt(0, 5)));
+    }
+
+    #[test]
+    fn arc_positions_are_monotone_ccw() {
+        let (region, _) = setup();
+        let pts = [pt(0, 0), pt(6, 0), pt(12, 0), pt(12, 5), pt(12, 10), pt(3, 10), pt(0, 4)];
+        let positions: Vec<_> = pts.iter().map(|&p| boundary_arc_position(&region, p).unwrap()).collect();
+        let mut sorted = positions.clone();
+        sorted.sort();
+        assert_eq!(positions, sorted);
+        assert_eq!(boundary_arc_position(&region, pt(5, 5)), None);
+    }
+
+    #[test]
+    fn visibility_discretization_contains_projections() {
+        let (region, obstacles) = setup();
+        let bq = visibility_discretization(&region, &obstacles);
+        // region vertices always included
+        for v in region.vertices() {
+            assert!(bq.contains(v));
+        }
+        // the obstacle vertex (3,3) sees the west wall at (0,3) and the floor at (3,0)
+        assert!(bq.contains(&pt(0, 3)));
+        assert!(bq.contains(&pt(3, 0)));
+        // the obstacle vertex (3,7) is blocked to the east by nothing until the wall
+        assert!(bq.contains(&pt(12, 7)));
+        // (8,2) looking west is NOT blocked by the first obstacle (y=2 is below it)
+        assert!(bq.contains(&pt(0, 2)));
+        // (8,4) looking west IS blocked by the first obstacle (y=4 in (3,7))
+        assert!(!bq.contains(&pt(0, 4)) || obstacles.segment_clear(pt(8, 4), pt(0, 4)));
+        // every reported point is on the boundary and the list is CCW-sorted
+        let positions: Vec<_> = bq.iter().map(|&p| boundary_arc_position(&region, p).unwrap()).collect();
+        let mut sorted = positions.clone();
+        sorted.sort();
+        assert_eq!(positions, sorted);
+    }
+
+    #[test]
+    fn bq_size_is_linear() {
+        let (region, obstacles) = setup();
+        let bq = visibility_discretization(&region, &obstacles);
+        assert!(bq.len() <= 4 * (region.num_vertices() + 4 * obstacles.len()));
+    }
+
+    #[test]
+    fn grid_discretization_is_superset_of_visibility_discretization() {
+        let (region, obstacles) = setup();
+        let bq = visibility_discretization(&region, &obstacles);
+        let mut xs = obstacles.xs();
+        xs.extend(region.vertices().iter().map(|p| p.x));
+        let mut ys = obstacles.ys();
+        ys.extend(region.vertices().iter().map(|p| p.y));
+        let bprime = region.boundary_grid_points(&xs, &ys);
+        for p in &bq {
+            assert!(bprime.contains(p), "B(Q) point {:?} missing from B'(Q)", p);
+        }
+    }
+}

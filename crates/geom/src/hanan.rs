@@ -1,0 +1,209 @@
+//! Hanan-grid ground truth for rectilinear shortest paths among rectangular
+//! obstacles.
+//!
+//! Any shortest rectilinear obstacle-avoiding path can be deformed, without
+//! increasing its length, so that it runs on the grid induced by the x- and
+//! y-coordinates of the obstacle vertices and the two terminals.  Dijkstra on
+//! that grid therefore yields exact distances.  This module is the *oracle*
+//! used by the test-suite to validate every other engine in the workspace; it
+//! is intentionally simple and `O(n^2 log n)` per source, and is not part of
+//! the paper's algorithm.
+
+use crate::point::{Coord, Dist, Point, INF};
+use crate::rect::ObstacleSet;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A Hanan grid graph over an obstacle set plus extra terminal points.
+pub struct HananGrid {
+    xs: Vec<Coord>,
+    ys: Vec<Coord>,
+    /// blocked[node] — node lies strictly inside an obstacle
+    blocked: Vec<bool>,
+    /// can_move_east[node] / can_move_north[node] — the unit grid segment in
+    /// that direction is not blocked by an obstacle interior
+    east_ok: Vec<bool>,
+    north_ok: Vec<bool>,
+}
+
+impl HananGrid {
+    /// Build the grid for the obstacle vertices plus `extra` points.
+    pub fn build(obstacles: &ObstacleSet, extra: &[Point]) -> Self {
+        let mut xs = obstacles.xs();
+        let mut ys = obstacles.ys();
+        xs.extend(extra.iter().map(|p| p.x));
+        ys.extend(extra.iter().map(|p| p.y));
+        if xs.is_empty() {
+            xs.push(0);
+        }
+        if ys.is_empty() {
+            ys.push(0);
+        }
+        xs.sort_unstable();
+        xs.dedup();
+        ys.sort_unstable();
+        ys.dedup();
+        let nx = xs.len();
+        let ny = ys.len();
+        let idx = |i: usize, j: usize| i * ny + j;
+        let mut blocked = vec![false; nx * ny];
+        let mut east_ok = vec![false; nx * ny];
+        let mut north_ok = vec![false; nx * ny];
+        for i in 0..nx {
+            for j in 0..ny {
+                let p = Point::new(xs[i], ys[j]);
+                blocked[idx(i, j)] = obstacles.containing_obstacle(p).is_some();
+                if i + 1 < nx {
+                    east_ok[idx(i, j)] = obstacles.segment_clear(p, Point::new(xs[i + 1], ys[j]));
+                }
+                if j + 1 < ny {
+                    north_ok[idx(i, j)] = obstacles.segment_clear(p, Point::new(xs[i], ys[j + 1]));
+                }
+            }
+        }
+        HananGrid { xs, ys, blocked, east_ok, north_ok }
+    }
+
+    fn node_of(&self, p: Point) -> Option<usize> {
+        let i = self.xs.binary_search(&p.x).ok()?;
+        let j = self.ys.binary_search(&p.y).ok()?;
+        Some(i * self.ys.len() + j)
+    }
+
+    /// Single-source shortest distances from `source` (which must be a grid
+    /// point, e.g. one of the `extra` points given at build time, and must
+    /// not be strictly inside an obstacle).  Returns per-node distances.
+    pub fn dijkstra(&self, source: Point) -> Vec<Dist> {
+        let n = self.blocked.len();
+        let ny = self.ys.len();
+        let nx = self.xs.len();
+        let mut dist = vec![INF; n];
+        let s = match self.node_of(source) {
+            Some(s) if !self.blocked[s] => s,
+            _ => return dist,
+        };
+        let mut heap: BinaryHeap<Reverse<(Dist, usize)>> = BinaryHeap::new();
+        dist[s] = 0;
+        heap.push(Reverse((0, s)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            let (i, j) = (u / ny, u % ny);
+            let relax = |v: usize, w: Dist, heap: &mut BinaryHeap<Reverse<(Dist, usize)>>, dist: &mut Vec<Dist>| {
+                if !self.blocked[v] && d + w < dist[v] {
+                    dist[v] = d + w;
+                    heap.push(Reverse((dist[v], v)));
+                }
+            };
+            if i + 1 < nx && self.east_ok[u] {
+                relax(u + ny, self.xs[i + 1] - self.xs[i], &mut heap, &mut dist);
+            }
+            if i > 0 && self.east_ok[u - ny] {
+                relax(u - ny, self.xs[i] - self.xs[i - 1], &mut heap, &mut dist);
+            }
+            if j + 1 < ny && self.north_ok[u] {
+                relax(u + 1, self.ys[j + 1] - self.ys[j], &mut heap, &mut dist);
+            }
+            if j > 0 && self.north_ok[u - 1] {
+                relax(u - 1, self.ys[j] - self.ys[j - 1], &mut heap, &mut dist);
+            }
+        }
+        dist
+    }
+
+    /// Distance from `source` to `target`, both grid points.
+    pub fn distance(&self, source: Point, target: Point) -> Dist {
+        let d = self.dijkstra(source);
+        match self.node_of(target) {
+            Some(t) => d[t],
+            None => INF,
+        }
+    }
+
+    /// Distances from `source` to each of `targets`.
+    pub fn distances_to(&self, source: Point, targets: &[Point]) -> Vec<Dist> {
+        let d = self.dijkstra(source);
+        targets.iter().map(|&t| self.node_of(t).map_or(INF, |i| d[i])).collect()
+    }
+}
+
+/// Exact shortest-path distance between two points among rectangular
+/// obstacles (ground truth; builds a fresh grid).
+pub fn ground_truth_distance(obstacles: &ObstacleSet, a: Point, b: Point) -> Dist {
+    let grid = HananGrid::build(obstacles, &[a, b]);
+    grid.distance(a, b)
+}
+
+/// Exact all-pairs distance matrix between `points` (ground truth).
+pub fn ground_truth_matrix(obstacles: &ObstacleSet, points: &[Point]) -> Vec<Vec<Dist>> {
+    let grid = HananGrid::build(obstacles, points);
+    points.iter().map(|&p| grid.distances_to(p, points)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+    use crate::rect::Rect;
+
+    #[test]
+    fn no_obstacles_is_l1() {
+        let obs = ObstacleSet::empty();
+        assert_eq!(ground_truth_distance(&obs, pt(0, 0), pt(7, 5)), 12);
+        assert_eq!(ground_truth_distance(&obs, pt(-3, 4), pt(-3, 4)), 0);
+    }
+
+    #[test]
+    fn single_wall_detour() {
+        // a tall wall between the two points forces a detour over or under
+        let obs = ObstacleSet::new(vec![Rect::new(4, -10, 6, 10)]);
+        let a = pt(0, 0);
+        let b = pt(10, 0);
+        // direct distance is 10; the wall spans y in (-10,10), so we must go
+        // up to 10 or down to -10 and back: 10 + 2*10 = 30
+        assert_eq!(ground_truth_distance(&obs, a, b), 30);
+    }
+
+    #[test]
+    fn corridor_between_obstacles() {
+        let obs = ObstacleSet::new(vec![Rect::new(2, 0, 4, 5), Rect::new(2, 7, 4, 12)]);
+        // passing through the corridor at y in [5,7] is allowed
+        let a = pt(0, 6);
+        let b = pt(6, 6);
+        assert_eq!(ground_truth_distance(&obs, a, b), 6);
+        // start below, end above: thread the gap
+        let d = ground_truth_distance(&obs, pt(0, 0), pt(6, 12));
+        assert_eq!(d, 18); // pure L1 works by going around/through the gap
+    }
+
+    #[test]
+    fn path_may_run_along_obstacle_boundary() {
+        let obs = ObstacleSet::new(vec![Rect::new(0, 0, 10, 10)]);
+        // both points on the boundary; walking along the boundary is legal
+        assert_eq!(ground_truth_distance(&obs, pt(0, 0), pt(10, 0)), 10);
+        assert_eq!(ground_truth_distance(&obs, pt(0, 0), pt(10, 10)), 20);
+        // opposite edge midpoints must walk around
+        assert_eq!(ground_truth_distance(&obs, pt(0, 5), pt(10, 5)), 10 + 10);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_and_zero_diagonal() {
+        let obs = ObstacleSet::new(vec![Rect::new(1, 1, 3, 3), Rect::new(5, 2, 8, 6)]);
+        let pts = vec![pt(0, 0), pt(4, 4), pt(9, 0), pt(9, 7)];
+        let m = ground_truth_matrix(&obs, &pts);
+        for i in 0..pts.len() {
+            assert_eq!(m[i][i], 0);
+            for j in 0..pts.len() {
+                assert_eq!(m[i][j], m[j][i]);
+                assert!(m[i][j] >= pts[i].l1(pts[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn source_inside_obstacle_is_unreachable() {
+        let obs = ObstacleSet::new(vec![Rect::new(0, 0, 10, 10)]);
+        assert_eq!(ground_truth_distance(&obs, pt(5, 5), pt(20, 20)), INF);
+    }
+}

@@ -1,0 +1,45 @@
+//! # rsp-geom — geometric substrate for rectilinear shortest paths
+//!
+//! This crate provides the geometric machinery used by the reproduction of
+//! Atallah & Chen, *"Parallel rectilinear shortest paths with rectangular
+//! obstacles"* (Computational Geometry: Theory and Applications 1, 1991).
+//!
+//! Everything here is exact integer geometry (`i64` coordinates, L1 metric):
+//!
+//! * [`Point`], [`Rect`], [`ObstacleSet`] — the input objects (Section 2 of
+//!   the paper): `n` pairwise-disjoint axis-parallel rectangles.
+//! * [`Chain`] — rectilinear polylines, in particular *staircases* (convex
+//!   paths, Section 2), with side tests and line intersections.
+//! * [`staircase`] — the `MAX_NE / MAX_NW / MAX_SE / MAX_SW` staircases of a
+//!   rectangle set (Fig. 1) and rectilinear convex hulls / envelopes
+//!   (Fig. 2).
+//! * [`StairRegion`] — rectilinearly convex regions with clear boundaries
+//!   (the regions `Q` of Sections 4–6), including splitting a region by a
+//!   staircase chain.
+//! * [`rayshoot`] — first-obstacle-hit queries in the four axis directions,
+//!   both naive and via a segment-tree index (the substitute for the
+//!   trapezoidal-decomposition / planar-subdivision structures of [4]).
+//! * [`trapezoid`] — the per-vertex trapezoidal decomposition and the
+//!   `Hit(e)` sets used by Sections 8 and 9.
+//! * [`bq`] — the boundary discretisation `B(Q)` of Definition 1 (Fig. 3)
+//!   and the coordinate-grid superset `B'(Q)` used by the divide-and-conquer.
+//! * [`hanan`] — a Hanan-grid Dijkstra used as ground truth in tests.
+//! * [`RectiPath`] — actual rectilinear paths with validity checks.
+
+pub mod bq;
+pub mod chain;
+pub mod hanan;
+pub mod path;
+pub mod point;
+pub mod rayshoot;
+pub mod rect;
+pub mod region;
+pub mod staircase;
+pub mod trapezoid;
+
+pub use chain::{Chain, Side};
+pub use path::RectiPath;
+pub use point::{Coord, Dir, Dist, Point, INF};
+pub use rect::{ObstacleSet, Rect};
+pub use region::StairRegion;
+pub use staircase::Quadrant;

@@ -1,0 +1,137 @@
+//! Actual rectilinear paths (Section 8 of the paper reports paths, not just
+//! lengths).  A [`RectiPath`] is a polyline of axis-parallel segments with
+//! helpers to validate that it is obstacle-avoiding and has the claimed
+//! length, and to check the monotonicity properties the paper relies on.
+
+use crate::chain::Chain;
+use crate::point::{Dist, Point};
+use crate::rect::ObstacleSet;
+use serde::{Deserialize, Serialize};
+
+/// A rectilinear path described by its turning points (including endpoints).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RectiPath {
+    chain: Chain,
+}
+
+impl RectiPath {
+    /// Build a path from a point sequence.  Consecutive equal points and
+    /// collinear runs are normalised away.  Panics on non-axis-parallel
+    /// steps.
+    pub fn new(points: Vec<Point>) -> Self {
+        RectiPath { chain: Chain::new(points) }
+    }
+
+    /// The underlying chain.
+    pub fn chain(&self) -> &Chain {
+        &self.chain
+    }
+
+    /// Turning points (including endpoints).
+    pub fn points(&self) -> &[Point] {
+        self.chain.points()
+    }
+
+    pub fn source(&self) -> Point {
+        self.chain.first()
+    }
+
+    pub fn target(&self) -> Point {
+        self.chain.last()
+    }
+
+    /// Path length (sum of segment lengths).
+    pub fn length(&self) -> Dist {
+        self.chain.length()
+    }
+
+    /// Number of segments — the paper's `k` in the `O(log n + k)` reporting
+    /// bound.
+    pub fn num_segments(&self) -> usize {
+        self.chain.num_segments()
+    }
+
+    /// Does the path avoid all obstacle interiors?  (Running along an
+    /// obstacle boundary is allowed.)
+    pub fn avoids(&self, obstacles: &ObstacleSet) -> bool {
+        self.chain.segments().all(|(a, b)| obstacles.segment_clear(a, b))
+    }
+
+    /// Is the path monotone with respect to the x-axis?
+    pub fn is_x_monotone(&self) -> bool {
+        self.chain.is_x_monotone()
+    }
+
+    /// Is the path monotone with respect to the y-axis?
+    pub fn is_y_monotone(&self) -> bool {
+        self.chain.is_y_monotone()
+    }
+
+    /// Is the path a staircase (monotone in both axes)?  Staircases achieve
+    /// the L1 distance between their endpoints.
+    pub fn is_staircase(&self) -> bool {
+        self.chain.is_staircase()
+    }
+
+    /// Reverse the path.
+    pub fn reversed(&self) -> RectiPath {
+        RectiPath { chain: self.chain.reversed() }
+    }
+
+    /// Concatenate with another path starting where this one ends.
+    pub fn concat(&self, other: &RectiPath) -> RectiPath {
+        RectiPath { chain: self.chain.concat(&other.chain) }
+    }
+
+    /// Full validity check: connects `source` to `target`, avoids the
+    /// obstacles, and has length exactly `expected_length`.
+    pub fn certifies(&self, obstacles: &ObstacleSet, source: Point, target: Point, expected_length: Dist) -> bool {
+        self.source() == source && self.target() == target && self.avoids(obstacles) && self.length() == expected_length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+    use crate::rect::Rect;
+
+    #[test]
+    fn length_and_segments() {
+        let p = RectiPath::new(vec![pt(0, 0), pt(0, 3), pt(4, 3), pt(4, 1)]);
+        assert_eq!(p.length(), 9);
+        assert_eq!(p.num_segments(), 3);
+        assert_eq!(p.source(), pt(0, 0));
+        assert_eq!(p.target(), pt(4, 1));
+        assert!(p.is_x_monotone());
+        assert!(!p.is_y_monotone());
+        assert!(!p.is_staircase());
+    }
+
+    #[test]
+    fn staircase_achieves_l1() {
+        let p = RectiPath::new(vec![pt(0, 0), pt(2, 0), pt(2, 2), pt(5, 2), pt(5, 4)]);
+        assert!(p.is_staircase());
+        assert_eq!(p.length(), p.source().l1(p.target()));
+    }
+
+    #[test]
+    fn obstacle_avoidance() {
+        let obs = ObstacleSet::new(vec![Rect::new(1, 1, 3, 3)]);
+        let through = RectiPath::new(vec![pt(0, 2), pt(4, 2)]);
+        assert!(!through.avoids(&obs));
+        let around = RectiPath::new(vec![pt(0, 2), pt(0, 3), pt(4, 3), pt(4, 2)]);
+        assert!(around.avoids(&obs));
+        assert!(around.certifies(&obs, pt(0, 2), pt(4, 2), 6));
+        assert!(!around.certifies(&obs, pt(0, 2), pt(4, 2), 4));
+    }
+
+    #[test]
+    fn concat_and_reverse() {
+        let a = RectiPath::new(vec![pt(0, 0), pt(5, 0)]);
+        let b = RectiPath::new(vec![pt(5, 0), pt(5, 5)]);
+        let c = a.concat(&b);
+        assert_eq!(c.length(), 10);
+        assert_eq!(c.reversed().source(), pt(5, 5));
+    }
+}

@@ -1,0 +1,369 @@
+//! Axis-parallel rectangles and sets of pairwise-disjoint rectangular
+//! obstacles (the set `R` of the paper, Section 2).
+
+use crate::point::{Coord, Dir, Dist, Point};
+use serde::{Deserialize, Serialize};
+
+/// A closed axis-parallel rectangle `[xmin, xmax] x [ymin, ymax]`.
+///
+/// Obstacles are *opaque for visibility* and *forbidden for paths* only in
+/// their open interior: paths may run along obstacle boundaries (this is the
+/// convention of the paper: a separator "may run along an obstacle's
+/// boundary").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Rect {
+    pub xmin: Coord,
+    pub ymin: Coord,
+    pub xmax: Coord,
+    pub ymax: Coord,
+}
+
+impl Rect {
+    /// Create a rectangle.  Panics if it is degenerate (zero width/height),
+    /// since the paper assumes proper rectangles.
+    pub fn new(xmin: Coord, ymin: Coord, xmax: Coord, ymax: Coord) -> Self {
+        assert!(xmin < xmax && ymin < ymax, "degenerate rectangle");
+        Rect { xmin, ymin, xmax, ymax }
+    }
+
+    pub fn width(&self) -> Coord {
+        self.xmax - self.xmin
+    }
+
+    pub fn height(&self) -> Coord {
+        self.ymax - self.ymin
+    }
+
+    /// Half-perimeter (useful as a size measure in workloads).
+    pub fn half_perimeter(&self) -> Coord {
+        self.width() + self.height()
+    }
+
+    /// Lower-left corner.
+    pub fn ll(&self) -> Point {
+        Point::new(self.xmin, self.ymin)
+    }
+    /// Lower-right corner.
+    pub fn lr(&self) -> Point {
+        Point::new(self.xmax, self.ymin)
+    }
+    /// Upper-left corner.
+    pub fn ul(&self) -> Point {
+        Point::new(self.xmin, self.ymax)
+    }
+    /// Upper-right corner.
+    pub fn ur(&self) -> Point {
+        Point::new(self.xmax, self.ymax)
+    }
+
+    /// The four corners in the order LL, LR, UR, UL (counterclockwise).
+    pub fn corners(&self) -> [Point; 4] {
+        [self.ll(), self.lr(), self.ur(), self.ul()]
+    }
+
+    /// Center point, rounded down.
+    pub fn center(&self) -> Point {
+        Point::new((self.xmin + self.xmax) / 2, (self.ymin + self.ymax) / 2)
+    }
+
+    /// Closed containment.
+    pub fn contains_closed(&self, p: Point) -> bool {
+        self.xmin <= p.x && p.x <= self.xmax && self.ymin <= p.y && p.y <= self.ymax
+    }
+
+    /// Open (strict interior) containment.
+    pub fn contains_open(&self, p: Point) -> bool {
+        self.xmin < p.x && p.x < self.xmax && self.ymin < p.y && p.y < self.ymax
+    }
+
+    /// Is `p` on the boundary?
+    pub fn on_boundary(&self, p: Point) -> bool {
+        self.contains_closed(p) && !self.contains_open(p)
+    }
+
+    /// Do the open interiors of `self` and `other` intersect?
+    pub fn interiors_intersect(&self, other: &Rect) -> bool {
+        self.xmin < other.xmax && other.xmin < self.xmax && self.ymin < other.ymax && other.ymin < self.ymax
+    }
+
+    /// Does the *open* axis-parallel segment from `a` to `b` pass through the
+    /// open interior of this rectangle?  (Running along the boundary does not
+    /// count.)  `a` and `b` must share a coordinate.
+    pub fn blocks_segment(&self, a: Point, b: Point) -> bool {
+        if a == b {
+            return false;
+        }
+        if a.x == b.x {
+            // vertical segment
+            let (lo, hi) = if a.y <= b.y { (a.y, b.y) } else { (b.y, a.y) };
+            self.xmin < a.x && a.x < self.xmax && lo.max(self.ymin) < hi.min(self.ymax)
+        } else {
+            debug_assert_eq!(a.y, b.y, "segment must be axis-parallel");
+            let (lo, hi) = if a.x <= b.x { (a.x, b.x) } else { (b.x, a.x) };
+            self.ymin < a.y && a.y < self.ymax && lo.max(self.xmin) < hi.min(self.xmax)
+        }
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            xmin: self.xmin.min(other.xmin),
+            ymin: self.ymin.min(other.ymin),
+            xmax: self.xmax.max(other.xmax),
+            ymax: self.ymax.max(other.ymax),
+        }
+    }
+
+    /// Expand in every direction by `margin` (must keep the rectangle valid).
+    pub fn expand(&self, margin: Coord) -> Rect {
+        Rect::new(self.xmin - margin, self.ymin - margin, self.xmax + margin, self.ymax + margin)
+    }
+
+    /// The corner of the rectangle in the given quadrant direction pair,
+    /// e.g. `(Dir::North, Dir::East)` gives the upper-right corner.
+    pub fn corner(&self, vertical: Dir, horizontal: Dir) -> Point {
+        let x = if horizontal == Dir::East { self.xmax } else { self.xmin };
+        let y = if vertical == Dir::North { self.ymax } else { self.ymin };
+        Point::new(x, y)
+    }
+
+    /// L1 distance from a point to the closed rectangle (0 if inside).
+    pub fn l1_distance_to(&self, p: Point) -> Dist {
+        let dx = if p.x < self.xmin {
+            self.xmin - p.x
+        } else if p.x > self.xmax {
+            p.x - self.xmax
+        } else {
+            0
+        };
+        let dy = if p.y < self.ymin {
+            self.ymin - p.y
+        } else if p.y > self.ymax {
+            p.y - self.ymax
+        } else {
+            0
+        };
+        dx + dy
+    }
+}
+
+/// Identifier of an obstacle within an [`ObstacleSet`].
+pub type RectId = usize;
+
+/// A set of pairwise interior-disjoint rectangular obstacles — the input `R`
+/// of the paper.  The vertex set `V_R` has `4n` points.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ObstacleSet {
+    rects: Vec<Rect>,
+}
+
+impl ObstacleSet {
+    /// Build an obstacle set.  Does not validate disjointness (call
+    /// [`ObstacleSet::validate_disjoint`] when the input is untrusted).
+    pub fn new(rects: Vec<Rect>) -> Self {
+        ObstacleSet { rects }
+    }
+
+    /// Empty obstacle set.
+    pub fn empty() -> Self {
+        ObstacleSet { rects: Vec::new() }
+    }
+
+    /// Number of obstacles (`n`).
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Access the underlying rectangles.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Rect> {
+        self.rects.iter()
+    }
+
+    /// Obstacle by id.
+    pub fn rect(&self, id: RectId) -> Rect {
+        self.rects[id]
+    }
+
+    /// Check that all rectangles have pairwise disjoint interiors.
+    /// `O(n^2)` — intended for input validation and tests, not hot paths.
+    pub fn validate_disjoint(&self) -> Result<(), (RectId, RectId)> {
+        for i in 0..self.rects.len() {
+            for j in (i + 1)..self.rects.len() {
+                if self.rects[i].interiors_intersect(&self.rects[j]) {
+                    return Err((i, j));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The `4n` obstacle vertices `V_R`, in obstacle order
+    /// (LL, LR, UR, UL per obstacle).
+    pub fn vertices(&self) -> Vec<Point> {
+        let mut v = Vec::with_capacity(4 * self.rects.len());
+        for r in &self.rects {
+            v.extend_from_slice(&r.corners());
+        }
+        v
+    }
+
+    /// Obstacle id owning vertex index `i` of [`ObstacleSet::vertices`].
+    pub fn vertex_owner(&self, vertex_index: usize) -> RectId {
+        vertex_index / 4
+    }
+
+    /// All distinct x coordinates of obstacle vertices, sorted.
+    pub fn xs(&self) -> Vec<Coord> {
+        let mut xs: Vec<Coord> = self.rects.iter().flat_map(|r| [r.xmin, r.xmax]).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        xs
+    }
+
+    /// All distinct y coordinates of obstacle vertices, sorted.
+    pub fn ys(&self) -> Vec<Coord> {
+        let mut ys: Vec<Coord> = self.rects.iter().flat_map(|r| [r.ymin, r.ymax]).collect();
+        ys.sort_unstable();
+        ys.dedup();
+        ys
+    }
+
+    /// Bounding box of all obstacles; `None` when empty.
+    pub fn bbox(&self) -> Option<Rect> {
+        let mut it = self.rects.iter();
+        let first = *it.next()?;
+        Some(it.fold(first, |acc, r| acc.union(r)))
+    }
+
+    /// Is `p` strictly inside some obstacle?  Returns the obstacle id.
+    pub fn containing_obstacle(&self, p: Point) -> Option<RectId> {
+        self.rects.iter().position(|r| r.contains_open(p))
+    }
+
+    /// Is the open axis-parallel segment `a`–`b` free of obstacle interiors?
+    pub fn segment_clear(&self, a: Point, b: Point) -> bool {
+        self.rects.iter().all(|r| !r.blocks_segment(a, b))
+    }
+
+    /// Restrict to a subset of obstacle ids (preserving order).
+    pub fn subset(&self, ids: &[RectId]) -> ObstacleSet {
+        ObstacleSet::new(ids.iter().map(|&i| self.rects[i]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+
+    fn r(a: Coord, b: Coord, c: Coord, d: Coord) -> Rect {
+        Rect::new(a, b, c, d)
+    }
+
+    #[test]
+    fn containment_and_boundary() {
+        let rect = r(0, 0, 10, 4);
+        assert!(rect.contains_closed(pt(0, 0)));
+        assert!(!rect.contains_open(pt(0, 0)));
+        assert!(rect.contains_open(pt(5, 2)));
+        assert!(rect.on_boundary(pt(10, 4)));
+        assert!(rect.on_boundary(pt(3, 0)));
+        assert!(!rect.on_boundary(pt(3, 1)));
+        assert!(!rect.contains_closed(pt(11, 2)));
+    }
+
+    #[test]
+    fn corners_and_dims() {
+        let rect = r(1, 2, 5, 7);
+        assert_eq!(rect.ll(), pt(1, 2));
+        assert_eq!(rect.ur(), pt(5, 7));
+        assert_eq!(rect.width(), 4);
+        assert_eq!(rect.height(), 5);
+        assert_eq!(rect.corners().len(), 4);
+        assert_eq!(rect.corner(Dir::North, Dir::West), pt(1, 7));
+        assert_eq!(rect.corner(Dir::South, Dir::East), pt(5, 2));
+    }
+
+    #[test]
+    fn interior_intersection() {
+        let a = r(0, 0, 4, 4);
+        let b = r(4, 0, 8, 4); // shares an edge only
+        let c = r(3, 3, 6, 6); // overlaps a
+        assert!(!a.interiors_intersect(&b));
+        assert!(a.interiors_intersect(&c));
+        assert!(c.interiors_intersect(&a));
+    }
+
+    #[test]
+    fn segment_blocking() {
+        let rect = r(2, 2, 6, 6);
+        // vertical segment through the interior
+        assert!(rect.blocks_segment(pt(4, 0), pt(4, 10)));
+        // vertical segment along the boundary is not blocked
+        assert!(!rect.blocks_segment(pt(2, 0), pt(2, 10)));
+        assert!(!rect.blocks_segment(pt(6, 3), pt(6, 5)));
+        // horizontal segment entirely left of the rect
+        assert!(!rect.blocks_segment(pt(-3, 4), pt(1, 4)));
+        // horizontal segment crossing the interior
+        assert!(rect.blocks_segment(pt(0, 4), pt(10, 4)));
+        // horizontal segment that only touches a corner point
+        assert!(!rect.blocks_segment(pt(0, 2), pt(10, 2)));
+        // degenerate segment
+        assert!(!rect.blocks_segment(pt(4, 4), pt(4, 4)));
+    }
+
+    #[test]
+    fn l1_distance_to_rect() {
+        let rect = r(0, 0, 4, 4);
+        assert_eq!(rect.l1_distance_to(pt(2, 2)), 0);
+        assert_eq!(rect.l1_distance_to(pt(6, 2)), 2);
+        assert_eq!(rect.l1_distance_to(pt(6, 7)), 5);
+        assert_eq!(rect.l1_distance_to(pt(-1, -1)), 2);
+    }
+
+    #[test]
+    fn obstacle_set_basics() {
+        let set = ObstacleSet::new(vec![r(0, 0, 2, 2), r(4, 4, 6, 6)]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.vertices().len(), 8);
+        assert_eq!(set.xs(), vec![0, 2, 4, 6]);
+        assert_eq!(set.ys(), vec![0, 2, 4, 6]);
+        assert_eq!(set.bbox(), Some(r(0, 0, 6, 6)));
+        assert!(set.validate_disjoint().is_ok());
+        assert_eq!(set.containing_obstacle(pt(1, 1)), Some(0));
+        assert_eq!(set.containing_obstacle(pt(3, 3)), None);
+        assert!(set.segment_clear(pt(0, 3), pt(10, 3)));
+        assert!(!set.segment_clear(pt(0, 5), pt(10, 5)));
+        assert_eq!(set.vertex_owner(5), 1);
+    }
+
+    #[test]
+    fn obstacle_set_detects_overlap() {
+        let set = ObstacleSet::new(vec![r(0, 0, 4, 4), r(3, 3, 8, 8)]);
+        assert_eq!(set.validate_disjoint(), Err((0, 1)));
+    }
+
+    #[test]
+    fn subset_preserves_order() {
+        let set = ObstacleSet::new(vec![r(0, 0, 1, 1), r(2, 2, 3, 3), r(4, 4, 5, 5)]);
+        let sub = set.subset(&[2, 0]);
+        assert_eq!(sub.rect(0), r(4, 4, 5, 5));
+        assert_eq!(sub.rect(1), r(0, 0, 1, 1));
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = ObstacleSet::empty();
+        assert!(set.is_empty());
+        assert_eq!(set.bbox(), None);
+        assert!(set.segment_clear(pt(0, 0), pt(100, 0)));
+    }
+}

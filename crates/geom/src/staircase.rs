@@ -1,0 +1,321 @@
+//! The `MAX_NE / MAX_NW / MAX_SE / MAX_SW` staircases of a set of rectangles
+//! (Fig. 1 of the paper), maximal points, and rectilinear convex hulls /
+//! envelopes (Fig. 2).
+//!
+//! `MAX_NE(R')` is the lowest-leftmost decreasing unbounded staircase that is
+//! above every rectangle of `R'`; it passes through the maximal elements of
+//! the upper-right corners of `R'`.  The other three staircases are the
+//! analogous constructions in the other quadrants.  Because the rest of the
+//! workspace works inside a bounding window, the staircases returned here are
+//! clamped to a caller-supplied window rectangle.
+
+use crate::chain::Chain;
+use crate::point::{Coord, Point};
+use crate::rect::{ObstacleSet, Rect};
+use crate::region::StairRegion;
+
+/// The four diagonal quadrants used to name the staircases of Fig. 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Quadrant {
+    NE,
+    NW,
+    SE,
+    SW,
+}
+
+impl Quadrant {
+    pub const ALL: [Quadrant; 4] = [Quadrant::NE, Quadrant::NW, Quadrant::SE, Quadrant::SW];
+
+    /// Sign transform `(sx, sy)` mapping this quadrant's construction onto
+    /// the canonical NE construction.
+    fn signs(self) -> (i64, i64) {
+        match self {
+            Quadrant::NE => (1, 1),
+            Quadrant::NW => (-1, 1),
+            Quadrant::SE => (1, -1),
+            Quadrant::SW => (-1, -1),
+        }
+    }
+}
+
+/// The maximal elements of a point set under NE dominance: points `p` such
+/// that no other point has both a larger-or-equal x and a larger-or-equal y
+/// (with at least one strict).  Returned sorted by increasing x (and hence
+/// decreasing y).
+pub fn maximal_points_ne(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| b.x.cmp(&a.x).then(b.y.cmp(&a.y)));
+    let mut out: Vec<Point> = Vec::new();
+    let mut best_y = Coord::MIN;
+    for p in pts {
+        if p.y > best_y {
+            out.push(p);
+            best_y = p.y;
+        }
+    }
+    out.reverse();
+    out
+}
+
+/// Maximal points of `points` in the given quadrant direction.
+pub fn maximal_points(points: &[Point], quadrant: Quadrant) -> Vec<Point> {
+    let (sx, sy) = quadrant.signs();
+    let mapped: Vec<Point> = points.iter().map(|p| Point::new(p.x * sx, p.y * sy)).collect();
+    let mut maxi = maximal_points_ne(&mapped);
+    for p in &mut maxi {
+        *p = Point::new(p.x * sx, p.y * sy);
+    }
+    maxi.sort_by_key(|p| p.x);
+    maxi
+}
+
+/// `MAX_q(R')` clamped to `window`: the extremal staircase of the rectangle
+/// set in quadrant `q` (Fig. 1).  Returns `None` for an empty set.
+///
+/// The chain is returned as a left-to-right walk.  For `NE`/`SW` it is a
+/// decreasing staircase, for `NW`/`SE` an increasing one.
+pub fn max_staircase(rects: &ObstacleSet, quadrant: Quadrant, window: Rect) -> Option<Chain> {
+    if rects.is_empty() {
+        return None;
+    }
+    let (sx, sy) = quadrant.signs();
+    // Relevant corner of each rectangle under the sign transform is its
+    // upper-right corner in transformed coordinates.
+    let corners: Vec<Point> = rects
+        .iter()
+        .map(|r| {
+            let xs = [r.xmin * sx, r.xmax * sx];
+            let ys = [r.ymin * sy, r.ymax * sy];
+            Point::new(*xs.iter().max().unwrap(), *ys.iter().max().unwrap())
+        })
+        .collect();
+    let maxi = maximal_points_ne(&corners);
+    let w = Rect {
+        xmin: (window.xmin * sx).min(window.xmax * sx),
+        xmax: (window.xmin * sx).max(window.xmax * sx),
+        ymin: (window.ymin * sy).min(window.ymax * sy),
+        ymax: (window.ymin * sy).max(window.ymax * sy),
+    };
+    // Build the canonical NE staircase in transformed coordinates:
+    // y(x) = max { c.y : c.x >= x }, drawn from the window's left edge and
+    // dropping to the window's bottom edge after the last maximal point.
+    let mut pts: Vec<Point> = Vec::with_capacity(2 * maxi.len() + 2);
+    let first = maxi[0];
+    pts.push(Point::new(w.xmin, first.y.min(w.ymax)));
+    for i in 0..maxi.len() {
+        let m = maxi[i];
+        pts.push(Point::new(m.x, m.y));
+        let next_y = if i + 1 < maxi.len() { maxi[i + 1].y } else { w.ymin };
+        pts.push(Point::new(m.x, next_y));
+    }
+    // Map back to original coordinates.
+    let mapped: Vec<Point> = pts.iter().map(|p| Point::new(p.x * sx, p.y * sy)).collect();
+    Some(Chain::new(mapped))
+}
+
+/// A step function over x described by breakpoints: value on `[x_i, x_{i+1})`
+/// is `y_i`.  Helper for assembling rectilinear hulls.
+struct StepFn {
+    xs: Vec<Coord>,
+    ys: Vec<Coord>,
+}
+
+impl StepFn {
+    fn eval(&self, x: Coord) -> Coord {
+        match self.xs.partition_point(|&b| b <= x) {
+            0 => self.ys[0],
+            k => self.ys[k - 1],
+        }
+    }
+}
+
+fn upper_profile(points: &[Point]) -> StepFn {
+    // min over the NE and NW profiles: NE(x) = max{p.y : p.x >= x},
+    // NW(x) = max{p.y : p.x <= x}.
+    let mut xs: Vec<Coord> = points.iter().map(|p| p.x).collect();
+    xs.sort_unstable();
+    xs.dedup();
+    let ys = xs
+        .iter()
+        .map(|&x| {
+            let ne = points.iter().filter(|p| p.x >= x).map(|p| p.y).max().unwrap_or(Coord::MIN);
+            let nw = points.iter().filter(|p| p.x <= x).map(|p| p.y).max().unwrap_or(Coord::MIN);
+            ne.min(nw)
+        })
+        .collect();
+    StepFn { xs, ys }
+}
+
+fn lower_profile(points: &[Point]) -> StepFn {
+    let mut xs: Vec<Coord> = points.iter().map(|p| p.x).collect();
+    xs.sort_unstable();
+    xs.dedup();
+    let ys = xs
+        .iter()
+        .map(|&x| {
+            let se = points.iter().filter(|p| p.x >= x).map(|p| p.y).min().unwrap_or(Coord::MAX);
+            let sw = points.iter().filter(|p| p.x <= x).map(|p| p.y).min().unwrap_or(Coord::MAX);
+            se.max(sw)
+        })
+        .collect();
+    StepFn { xs, ys }
+}
+
+/// The rectilinear convex hull of a point set, when it exists as a connected
+/// region (the paper's `Env(R')` coincides with it in that case, Fig. 2(c)).
+/// Returns `None` when the hull is degenerate (the four staircases do not
+/// bound a two-dimensional connected region), which corresponds to the
+/// paper's cases (i)/(ii) in which `Env(R')` needs the extra connecting
+/// segment.
+pub fn rectilinear_hull(points: &[Point]) -> Option<StairRegion> {
+    if points.len() < 2 {
+        return None;
+    }
+    let upper = upper_profile(points);
+    let lower = lower_profile(points);
+    let xs = &upper.xs;
+    // The hull is connected and two-dimensional only if lower < upper on the
+    // interior of the x-range (allowing equality at the two extreme columns).
+    for (i, &x) in xs.iter().enumerate() {
+        let lo = lower.eval(x);
+        let hi = upper.eval(x);
+        if lo > hi {
+            return None;
+        }
+        if i > 0 && i + 1 < xs.len() && lo >= hi {
+            return None;
+        }
+    }
+    if xs.len() < 2 {
+        return None;
+    }
+    // A genuine two-dimensional hull needs some column where lower < upper.
+    if !xs.iter().any(|&x| lower.eval(x) < upper.eval(x)) {
+        return None;
+    }
+    // Walk the lower profile left-to-right, then the upper profile
+    // right-to-left, inserting the vertical jumps.
+    let mut verts: Vec<Point> = Vec::new();
+    for i in 0..xs.len() {
+        let x = xs[i];
+        let y = lower.eval(x);
+        verts.push(Point::new(x, y));
+        if i + 1 < xs.len() {
+            let ynext = lower.eval(xs[i + 1]);
+            if ynext != y {
+                verts.push(Point::new(xs[i + 1], y));
+            }
+        }
+    }
+    for i in (0..xs.len()).rev() {
+        let x = xs[i];
+        let y = upper.eval(x);
+        verts.push(Point::new(x, y));
+        if i > 0 {
+            let yprev = upper.eval(xs[i - 1]);
+            if yprev != y {
+                verts.push(Point::new(xs[i - 1], y));
+            }
+        }
+    }
+    Some(StairRegion::new(verts))
+}
+
+/// The envelope region of a set of rectangles: the rectilinear hull of their
+/// corner points (when it exists as a connected region).
+pub fn envelope(rects: &ObstacleSet, _window: Rect) -> Option<StairRegion> {
+    let corners: Vec<Point> = rects.vertices();
+    rectilinear_hull(&corners)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Side;
+    use crate::point::pt;
+
+    fn sample() -> ObstacleSet {
+        ObstacleSet::new(vec![
+            Rect::new(1, 6, 3, 8),
+            Rect::new(5, 4, 7, 7),
+            Rect::new(8, 1, 10, 3),
+            Rect::new(2, 1, 4, 3),
+        ])
+    }
+
+    #[test]
+    fn maximal_points_basic() {
+        let pts = vec![pt(1, 5), pt(2, 3), pt(4, 4), pt(5, 1), pt(3, 2)];
+        let maxi = maximal_points_ne(&pts);
+        assert_eq!(maxi, vec![pt(1, 5), pt(4, 4), pt(5, 1)]);
+        let maxi_sw = maximal_points(&pts, Quadrant::SW);
+        assert!(maxi_sw.contains(&pt(1, 5)) || maxi_sw.contains(&pt(2, 3)));
+        assert!(maxi_sw.iter().all(|p| pts.contains(p)));
+    }
+
+    #[test]
+    fn max_ne_staircase_is_above_all_rects() {
+        let obs = sample();
+        let window = obs.bbox().unwrap().expand(5);
+        let chain = max_staircase(&obs, Quadrant::NE, window).unwrap();
+        assert!(chain.is_staircase());
+        // every rectangle's upper-right corner is on or below the chain
+        for r in obs.iter() {
+            let side = chain.side_of(r.ur());
+            assert_ne!(side, Side::Above, "rect {:?} pokes above MAX_NE", r);
+        }
+        // the chain is decreasing
+        assert!(chain.first().y >= chain.last().y);
+    }
+
+    #[test]
+    fn max_sw_staircase_is_below_all_rects() {
+        let obs = sample();
+        let window = obs.bbox().unwrap().expand(5);
+        let chain = max_staircase(&obs, Quadrant::SW, window).unwrap();
+        assert!(chain.is_staircase());
+        for r in obs.iter() {
+            let side = chain.side_of(r.ll());
+            assert_ne!(side, Side::Below, "rect {:?} pokes below MAX_SW", r);
+        }
+    }
+
+    #[test]
+    fn all_four_staircases_exist_and_are_monotone() {
+        let obs = sample();
+        let window = obs.bbox().unwrap().expand(5);
+        for q in Quadrant::ALL {
+            let chain = max_staircase(&obs, q, window).unwrap();
+            assert!(chain.is_staircase(), "{:?} not a staircase", q);
+            assert!(chain.num_segments() <= 2 * obs.len() + 2);
+        }
+        assert!(max_staircase(&ObstacleSet::empty(), Quadrant::NE, window).is_none());
+    }
+
+    #[test]
+    fn hull_of_rectangle_corners_is_rectangle() {
+        let pts = Rect::new(0, 0, 10, 6).corners().to_vec();
+        let hull = rectilinear_hull(&pts).unwrap();
+        assert_eq!(hull.signed_area2(), 2 * 10 * 6);
+        assert_eq!(hull.num_vertices(), 4);
+    }
+
+    #[test]
+    fn hull_contains_all_points() {
+        let obs = sample();
+        let hull = envelope(&obs, obs.bbox().unwrap().expand(5)).unwrap();
+        for v in obs.vertices() {
+            assert!(hull.contains(v), "{:?} outside hull", v);
+        }
+        assert!(hull.is_rectilinearly_convex());
+    }
+
+    #[test]
+    fn degenerate_hull_returns_none() {
+        // Two points on a line: no two-dimensional hull.
+        assert!(rectilinear_hull(&[pt(0, 0), pt(5, 0)]).is_none());
+        // Anti-diagonal points whose staircases cross: degenerate envelope
+        // (paper Fig. 2(a)/(b)) — the connected 2-D hull does not exist.
+        assert!(rectilinear_hull(&[pt(0, 10), pt(10, 0)]).is_none());
+    }
+}

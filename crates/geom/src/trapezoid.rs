@@ -1,0 +1,195 @@
+//! Trapezoidal decomposition of the obstacle vertices.
+//!
+//! For every obstacle vertex we record the first obstacle edge hit by a ray
+//! in each of the four axis directions (ignoring the vertex's own obstacle).
+//! This is the information produced by the parallel trapezoidal-decomposition
+//! algorithm of [4] that the paper uses in the Path Tracing Lemma (Lemma 6),
+//! in the shortest-path-tree construction (Section 8) and in the sequential
+//! algorithm (Section 9, the `Hit(e)` sets).
+
+use crate::point::{Dir, Point};
+use crate::rayshoot::{Hit, ShootIndex};
+use crate::rect::{ObstacleSet, RectId};
+use rayon::prelude::*;
+
+/// One of the four sides of a rectangle, naming an obstacle edge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Edge {
+    Bottom,
+    Top,
+    Left,
+    Right,
+}
+
+impl Edge {
+    /// The side of the obstacle that a ray travelling in `dir` runs into.
+    pub fn facing(dir: Dir) -> Edge {
+        match dir {
+            Dir::North => Edge::Bottom,
+            Dir::South => Edge::Top,
+            Dir::East => Edge::Left,
+            Dir::West => Edge::Right,
+        }
+    }
+}
+
+/// Identifier of an obstacle edge.
+pub type EdgeId = (RectId, Edge);
+
+/// The trapezoidal decomposition: per-vertex first hits and per-edge `Hit(e)`
+/// sets.
+pub struct TrapezoidDecomposition {
+    /// `hits[dir][vertex_index]` — first obstacle hit from that vertex.
+    hits: [Vec<Option<Hit>>; 4],
+    /// number of obstacles
+    n: usize,
+}
+
+fn dir_index(dir: Dir) -> usize {
+    match dir {
+        Dir::North => 0,
+        Dir::South => 1,
+        Dir::East => 2,
+        Dir::West => 3,
+    }
+}
+
+impl TrapezoidDecomposition {
+    /// Build the decomposition.  Work `O(n log^2 n)`, parallelised over
+    /// vertices with rayon (the paper uses the `O(log n)`-time algorithm of
+    /// [4]; the role here is identical).
+    pub fn build(obstacles: &ObstacleSet) -> Self {
+        let index = ShootIndex::build(obstacles);
+        let vertices = obstacles.vertices();
+        let shoot_all = |dir: Dir| -> Vec<Option<Hit>> {
+            vertices
+                .par_iter()
+                .enumerate()
+                .map(|(vi, &v)| {
+                    let own = obstacles.vertex_owner(vi);
+                    match index.shoot(v, dir) {
+                        Some(h) if h.rect == own => {
+                            // A vertex never sees its own rectangle because its
+                            // coordinates sit on the rectangle boundary (open
+                            // interval rule); keep this arm for safety.
+                            None
+                        }
+                        other => other,
+                    }
+                })
+                .collect()
+        };
+        let hits = [shoot_all(Dir::North), shoot_all(Dir::South), shoot_all(Dir::East), shoot_all(Dir::West)];
+        TrapezoidDecomposition { hits, n: obstacles.len() }
+    }
+
+    /// First obstacle hit from vertex `vertex_index` (index into
+    /// [`ObstacleSet::vertices`]) in direction `dir`.
+    pub fn vertex_hit(&self, vertex_index: usize, dir: Dir) -> Option<Hit> {
+        self.hits[dir_index(dir)][vertex_index]
+    }
+
+    /// The `Hit(e)` set of Section 9: all vertices whose ray in the direction
+    /// facing `edge` hits that edge of obstacle `rect`, sorted along the
+    /// edge.  Returned as (vertex_index, hit_point) pairs.
+    pub fn hit_set(&self, obstacles: &ObstacleSet, rect: RectId, edge: Edge) -> Vec<(usize, Point)> {
+        let dir = match edge {
+            Edge::Bottom => Dir::North,
+            Edge::Top => Dir::South,
+            Edge::Left => Dir::East,
+            Edge::Right => Dir::West,
+        };
+        let vertices = obstacles.vertices();
+        let mut out: Vec<(usize, Point)> = Vec::new();
+        for (vi, _) in vertices.iter().enumerate() {
+            if let Some(hit) = self.vertex_hit(vi, dir) {
+                if hit.rect == rect {
+                    out.push((vi, hit.point));
+                }
+            }
+        }
+        match edge {
+            Edge::Bottom | Edge::Top => out.sort_by_key(|(_, p)| p.x),
+            Edge::Left | Edge::Right => out.sort_by_key(|(_, p)| p.y),
+        }
+        out
+    }
+
+    /// Number of obstacles this decomposition was built for.
+    pub fn num_obstacles(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+    use crate::rect::Rect;
+
+    fn obstacles() -> ObstacleSet {
+        // two towers with a gap, plus a roof over the gap
+        ObstacleSet::new(vec![
+            Rect::new(0, 0, 2, 6),   // 0: left tower
+            Rect::new(6, 0, 8, 6),   // 1: right tower
+            Rect::new(1, 8, 7, 10),  // 2: roof
+        ])
+    }
+
+    #[test]
+    fn vertex_hits() {
+        let obs = obstacles();
+        let t = TrapezoidDecomposition::build(&obs);
+        assert_eq!(t.num_obstacles(), 3);
+        // vertex 2 of rect 0 is its UR corner (2,6); nothing north of x=2 strictly inside... the roof spans (1,7)
+        let ur0 = obs.vertices().iter().position(|&p| p == pt(2, 6)).unwrap();
+        // x = 2 is strictly inside the roof's (1,7) span, so shooting north hits the roof
+        let hit = t.vertex_hit(ur0, Dir::North).unwrap();
+        assert_eq!(hit.rect, 2);
+        assert_eq!(hit.point, pt(2, 8));
+        // shooting east from (2,6) exits: the right tower spans y in (0,6) open, 6 not inside
+        assert_eq!(t.vertex_hit(ur0, Dir::East), None);
+        // UL corner of right tower (6,6) shooting west: y=6 not strictly inside left tower, no hit
+        let ul1 = obs.vertices().iter().position(|&p| p == pt(6, 6)).unwrap();
+        assert_eq!(t.vertex_hit(ul1, Dir::West), None);
+        // LL corner of the roof (1,8) shooting south: x=1 strictly inside left tower (0,2)
+        let ll2 = obs.vertices().iter().position(|&p| p == pt(1, 8)).unwrap();
+        let hit = t.vertex_hit(ll2, Dir::South).unwrap();
+        assert_eq!(hit.rect, 0);
+        assert_eq!(hit.point, pt(1, 6));
+    }
+
+    #[test]
+    fn hit_sets_are_sorted_along_edge() {
+        let obs = obstacles();
+        let t = TrapezoidDecomposition::build(&obs);
+        // the roof's bottom edge is hit from below by vertices of both towers
+        let set = t.hit_set(&obs, 2, Edge::Bottom);
+        assert!(!set.is_empty());
+        let xs: Vec<_> = set.iter().map(|(_, p)| p.x).collect();
+        let mut sorted = xs.clone();
+        sorted.sort();
+        assert_eq!(xs, sorted);
+        for (_, p) in set {
+            assert_eq!(p.y, 8);
+            assert!(p.x > 1 && p.x < 7);
+        }
+    }
+
+    #[test]
+    fn own_rect_is_never_hit_at_distance_zero() {
+        let obs = obstacles();
+        let t = TrapezoidDecomposition::build(&obs);
+        for (vi, v) in obs.vertices().iter().enumerate() {
+            for dir in Dir::ALL {
+                if let Some(hit) = t.vertex_hit(vi, dir) {
+                    assert!(
+                        hit.rect != obs.vertex_owner(vi) || hit.distance_from(*v) > 0,
+                        "vertex {:?} hits its own rect at distance 0",
+                        v
+                    );
+                }
+            }
+        }
+    }
+}

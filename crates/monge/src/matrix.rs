@@ -1,0 +1,191 @@
+//! Dense (min,+) matrices of path lengths.
+
+use std::ops::{Index, IndexMut};
+
+/// Distance entry type (same convention as `rsp-geom`): `i64` with a large
+/// sentinel for "no path / padded entry".
+pub type Entry = i64;
+
+/// The `+∞` sentinel.  Safe to add to itself without overflow.
+pub const INF: Entry = i64::MAX / 4;
+
+/// A dense row-major matrix over the (min,+) semiring.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MinPlusMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Entry>,
+}
+
+impl MinPlusMatrix {
+    /// A matrix filled with `INF`.
+    pub fn infinity(rows: usize, cols: usize) -> Self {
+        MinPlusMatrix { rows, cols, data: vec![INF; rows * cols] }
+    }
+
+    /// A matrix filled with a constant.
+    pub fn filled(rows: usize, cols: usize, value: Entry) -> Self {
+        MinPlusMatrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Build from a closure.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Entry) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        MinPlusMatrix { rows, cols, data }
+    }
+
+    /// Build from nested vectors (each inner vector is a row).
+    pub fn from_rows(rows: Vec<Vec<Entry>>) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        MinPlusMatrix { rows: r, cols: c, data: rows.into_iter().flatten().collect() }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw row slice.
+    pub fn row(&self, i: usize) -> &[Entry] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable raw row slice.
+    pub fn row_mut(&mut self, i: usize) -> &mut [Entry] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Entry accessor (bounds-checked in debug builds).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> Entry {
+        self.data[i * self.cols + j]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: Entry) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> MinPlusMatrix {
+        MinPlusMatrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// Element-wise minimum with another matrix of the same shape.
+    pub fn pointwise_min(&self, other: &MinPlusMatrix) -> MinPlusMatrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        MinPlusMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a.min(b)).collect(),
+        }
+    }
+
+    /// Extract the submatrix with the given row and column indices.
+    pub fn submatrix(&self, row_ids: &[usize], col_ids: &[usize]) -> MinPlusMatrix {
+        MinPlusMatrix::from_fn(row_ids.len(), col_ids.len(), |i, j| self.get(row_ids[i], col_ids[j]))
+    }
+
+    /// Pad to `new_rows x new_cols` with `INF` (Lemma 4's padding trick).
+    pub fn pad_to(&self, new_rows: usize, new_cols: usize) -> MinPlusMatrix {
+        assert!(new_rows >= self.rows && new_cols >= self.cols);
+        MinPlusMatrix::from_fn(new_rows, new_cols, |i, j| {
+            if i < self.rows && j < self.cols {
+                self.get(i, j)
+            } else {
+                INF
+            }
+        })
+    }
+
+    /// Are all entries finite (smaller than `INF`)?
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|&x| x < INF)
+    }
+
+    /// Maximum finite entry, if any.
+    pub fn max_finite(&self) -> Option<Entry> {
+        self.data.iter().copied().filter(|&x| x < INF).max()
+    }
+}
+
+impl Index<(usize, usize)> for MinPlusMatrix {
+    type Output = Entry;
+    fn index(&self, (i, j): (usize, usize)) -> &Entry {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for MinPlusMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Entry {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = MinPlusMatrix::from_fn(2, 3, |i, j| (i * 10 + j) as Entry);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(1, 2), 12);
+        assert_eq!(m[(0, 1)], 1);
+        assert_eq!(m.row(1), &[10, 11, 12]);
+        let mut m = m;
+        m.set(0, 0, -5);
+        assert_eq!(m[(0, 0)], -5);
+        m[(0, 0)] = 7;
+        assert_eq!(m.get(0, 0), 7);
+    }
+
+    #[test]
+    fn from_rows_and_transpose() {
+        let m = MinPlusMatrix::from_rows(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn pointwise_min_and_padding() {
+        let a = MinPlusMatrix::from_rows(vec![vec![1, 9], vec![7, 3]]);
+        let b = MinPlusMatrix::from_rows(vec![vec![5, 2], vec![8, 8]]);
+        let m = a.pointwise_min(&b);
+        assert_eq!(m, MinPlusMatrix::from_rows(vec![vec![1, 2], vec![7, 3]]));
+        let p = a.pad_to(3, 4);
+        assert_eq!(p.get(0, 0), 1);
+        assert_eq!(p.get(2, 3), INF);
+        assert!(!p.is_finite());
+        assert!(a.is_finite());
+        assert_eq!(p.max_finite(), Some(9));
+    }
+
+    #[test]
+    fn submatrix_extraction() {
+        let m = MinPlusMatrix::from_fn(4, 4, |i, j| (i * 4 + j) as Entry);
+        let s = m.submatrix(&[0, 2], &[1, 3]);
+        assert_eq!(s, MinPlusMatrix::from_rows(vec![vec![1, 3], vec![9, 11]]));
+    }
+
+    #[test]
+    fn infinity_matrix() {
+        let m = MinPlusMatrix::infinity(2, 2);
+        assert_eq!(m.max_finite(), None);
+        let f = MinPlusMatrix::filled(2, 2, 7);
+        assert_eq!(f.max_finite(), Some(7));
+    }
+}

@@ -1,0 +1,135 @@
+//! The Monge property (Section 2 of the paper).
+//!
+//! A matrix `M` is Monge iff for all adjacent rows `i, i+1` and columns
+//! `j, j+1`:
+//!
+//! ```text
+//! M(i, j) + M(i+1, j+1) <= M(i, j+1) + M(i+1, j)
+//! ```
+//!
+//! Lemma 1 of the paper: the path-length matrix between two point sets lying
+//! on disjoint portions of the boundary of a convex clear region is Monge
+//! (with the natural boundary orderings).  Fig. 4(b) shows how non-Monge
+//! length matrices arise when that condition is violated — this is exactly
+//! what the paper's `U / U' / W / W'` partitioning scheme repairs.
+
+use crate::matrix::{Entry, MinPlusMatrix, INF};
+
+/// Check the Monge condition on all adjacent 2x2 minors.  Entries equal to
+/// `INF` are treated as genuinely infinite (the condition is considered
+/// satisfied whenever it involves an `INF` on the "cheap" side), matching the
+/// padding argument of Lemma 4.
+pub fn is_monge(m: &MinPlusMatrix) -> bool {
+    monge_violation(m).is_none()
+}
+
+/// Find a violating `(i, j)` pair, if any (the condition fails for rows
+/// `i, i+1` and columns `j, j+1`).
+pub fn monge_violation(m: &MinPlusMatrix) -> Option<(usize, usize)> {
+    for i in 0..m.rows().saturating_sub(1) {
+        for j in 0..m.cols().saturating_sub(1) {
+            let a = m.get(i, j);
+            let b = m.get(i + 1, j + 1);
+            let c = m.get(i, j + 1);
+            let d = m.get(i + 1, j);
+            let lhs = saturating(a, b);
+            let rhs = saturating(c, d);
+            if lhs > rhs {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+fn saturating(a: Entry, b: Entry) -> Entry {
+    if a >= INF || b >= INF {
+        INF
+    } else {
+        a + b
+    }
+}
+
+/// Check *total monotonicity* of a matrix (the weaker property SMAWK needs):
+/// for every pair of rows `i < i'` and columns `j < j'`,
+/// `M(i, j') < M(i, j)` implies `M(i', j') < M(i', j)`.
+/// Every Monge matrix is totally monotone.
+pub fn is_totally_monotone(m: &MinPlusMatrix) -> bool {
+    for i in 0..m.rows() {
+        for i2 in (i + 1)..m.rows() {
+            for j in 0..m.cols() {
+                for j2 in (j + 1)..m.cols() {
+                    if m.get(i, j2) < m.get(i, j) && m.get(i2, j2) >= m.get(i2, j) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// A convenient family of Monge matrices for tests and benchmarks: the
+/// L1 distances between a row of points on a horizontal line and a row of
+/// points on another horizontal line, both ordered by x (a special case of
+/// Lemma 1 with the region being the slab between the two lines).
+pub fn distance_monge(xs_top: &[i64], xs_bottom: &[i64], gap: i64) -> MinPlusMatrix {
+    MinPlusMatrix::from_fn(xs_top.len(), xs_bottom.len(), |i, j| (xs_top[i] - xs_bottom[j]).abs() + gap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_and_additive_matrices_are_monge() {
+        let c = MinPlusMatrix::filled(4, 5, 3);
+        assert!(is_monge(&c));
+        let additive = MinPlusMatrix::from_fn(4, 5, |i, j| (i as i64) * 2 + (j as i64) * 7);
+        assert!(is_monge(&additive));
+    }
+
+    #[test]
+    fn distance_matrices_are_monge() {
+        let m = distance_monge(&[0, 2, 5, 9], &[1, 3, 4, 8, 12], 6);
+        assert!(is_monge(&m));
+        assert!(is_totally_monotone(&m));
+    }
+
+    #[test]
+    fn explicit_violation_is_found() {
+        // the classic non-Monge 2x2: crossing is cheaper than non-crossing
+        let m = MinPlusMatrix::from_rows(vec![vec![5, 1], vec![1, 5]]);
+        assert!(!is_monge(&m));
+        assert_eq!(monge_violation(&m), Some((0, 0)));
+        assert!(!is_totally_monotone(&MinPlusMatrix::from_rows(vec![vec![2, 1], vec![1, 2]])));
+    }
+
+    #[test]
+    fn padding_with_inf_preserves_monge_property() {
+        let m = distance_monge(&[0, 3, 7], &[1, 5], 2);
+        let padded = m.pad_to(5, 4);
+        assert!(is_monge(&padded), "Lemma 4's padding must keep the matrix Monge");
+    }
+
+    #[test]
+    fn monge_implies_totally_monotone_on_random_instances() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let top: Vec<i64> = {
+                let mut v: Vec<i64> = (0..8).map(|_| rng.gen_range(-50..50)).collect();
+                v.sort();
+                v
+            };
+            let bot: Vec<i64> = {
+                let mut v: Vec<i64> = (0..9).map(|_| rng.gen_range(-50..50)).collect();
+                v.sort();
+                v
+            };
+            let m = distance_monge(&top, &bot, rng.gen_range(0..20));
+            assert!(is_monge(&m));
+            assert!(is_totally_monotone(&m));
+        }
+    }
+}

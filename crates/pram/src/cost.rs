@@ -1,0 +1,133 @@
+//! Work/depth accounting for the PRAM cost model.
+//!
+//! The paper states its results as (time, processors) pairs on a CREW PRAM.
+//! On a multicore we can only measure wall-clock time, so the algorithms in
+//! `rsp-core` additionally *count* the abstract operations they perform
+//! (work `W`) and the length of their critical path (depth `T`).  The
+//! benchmark harness prints both next to wall-clock time so that the paper's
+//! claimed bounds (e.g. `W = O(n^2)`, `T = O(log^2 n)` for Section 5) can be
+//! checked directly against the counters.
+
+use crossbeam::atomic::AtomicCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A thread-safe work/depth counter.
+#[derive(Clone, Default)]
+pub struct CostCounter {
+    inner: Arc<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    work: AtomicU64,
+    depth: AtomicCell<u64>,
+}
+
+impl CostCounter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `amount` units of work (operations performed, regardless of
+    /// which processor performs them).
+    pub fn add_work(&self, amount: u64) {
+        self.inner.work.fetch_add(amount, Ordering::Relaxed);
+    }
+
+    /// Record that a (parallel) phase of critical-path length `amount`
+    /// completed.  Depths of sequentially composed phases add up; the caller
+    /// is responsible for adding only once per parallel phase (i.e. the
+    /// maximum over the branches, not the sum).
+    pub fn add_depth(&self, amount: u64) {
+        loop {
+            let cur = self.inner.depth.load();
+            if self.inner.depth.compare_exchange(cur, cur + amount).is_ok() {
+                break;
+            }
+        }
+    }
+
+    /// Total recorded work.
+    pub fn work(&self) -> u64 {
+        self.inner.work.load(Ordering::Relaxed)
+    }
+
+    /// Total recorded depth.
+    pub fn depth(&self) -> u64 {
+        self.inner.depth.load()
+    }
+
+    /// Reset both counters.
+    pub fn reset(&self) {
+        self.inner.work.store(0, Ordering::Relaxed);
+        self.inner.depth.store(0);
+    }
+
+    /// Brent's theorem bound: the predicted time on `p` processors,
+    /// `W/p + T`, in abstract operation units.
+    pub fn brent_bound(&self, processors: u64) -> u64 {
+        self.work() / processors.max(1) + self.depth()
+    }
+}
+
+/// RAII guard that records one unit of depth (a phase) and `work` units of
+/// work when dropped.  Convenient for instrumenting scoped phases.
+pub struct CostGuard<'a> {
+    counter: &'a CostCounter,
+    work: u64,
+}
+
+impl<'a> CostGuard<'a> {
+    pub fn phase(counter: &'a CostCounter, work: u64) -> Self {
+        CostGuard { counter, work }
+    }
+}
+
+impl Drop for CostGuard<'_> {
+    fn drop(&mut self) {
+        self.counter.add_work(self.work);
+        self.counter.add_depth(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = CostCounter::new();
+        c.add_work(10);
+        c.add_work(5);
+        c.add_depth(3);
+        assert_eq!(c.work(), 15);
+        assert_eq!(c.depth(), 3);
+        assert_eq!(c.brent_bound(5), 3 + 3);
+        assert_eq!(c.brent_bound(0), 15 + 3);
+        c.reset();
+        assert_eq!(c.work(), 0);
+        assert_eq!(c.depth(), 0);
+    }
+
+    #[test]
+    fn concurrent_work_updates_are_not_lost() {
+        let c = CostCounter::new();
+        (0..1000).into_par_iter().for_each(|_| c.add_work(1));
+        assert_eq!(c.work(), 1000);
+    }
+
+    #[test]
+    fn guard_records_on_drop() {
+        let c = CostCounter::new();
+        {
+            let _g = CostGuard::phase(&c, 42);
+        }
+        {
+            let _g = CostGuard::phase(&c, 8);
+        }
+        assert_eq!(c.work(), 50);
+        assert_eq!(c.depth(), 2);
+    }
+}

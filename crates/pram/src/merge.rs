@@ -1,0 +1,106 @@
+//! Parallel merging of two sorted sequences — the paper's reference [35]
+//! (Shiloach–Vishkin).  Divide-and-conquer dual binary search: split the
+//! longer sequence at its midpoint, binary-search the split value in the
+//! other sequence, and recurse on both halves in parallel.  Work `O(n + m)`,
+//! depth `O(log(n + m))`.
+
+/// Merge two sorted slices into a sorted vector.
+pub fn parallel_merge<T: Ord + Clone + Send + Sync>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = vec![None; a.len() + b.len()];
+    merge_into(a, b, &mut out);
+    out.into_iter().map(|x| x.unwrap()).collect()
+}
+
+fn merge_into<T: Ord + Clone + Send + Sync>(a: &[T], b: &[T], out: &mut [Option<T>]) {
+    const SEQ_CUTOFF: usize = 4096;
+    if a.len() + b.len() <= SEQ_CUTOFF {
+        let mut i = 0;
+        let mut j = 0;
+        for slot in out.iter_mut() {
+            if i < a.len() && (j >= b.len() || a[i] <= b[j]) {
+                *slot = Some(a[i].clone());
+                i += 1;
+            } else {
+                *slot = Some(b[j].clone());
+                j += 1;
+            }
+        }
+        return;
+    }
+    // Split the longer sequence at its midpoint.
+    let (long, short, long_is_a) = if a.len() >= b.len() { (a, b, true) } else { (b, a, false) };
+    let mid = long.len() / 2;
+    let pivot = &long[mid];
+    let cut = short.partition_point(|x| x < pivot);
+    let (long_lo, long_hi) = long.split_at(mid);
+    let (short_lo, short_hi) = short.split_at(cut);
+    let (out_lo, out_hi) = out.split_at_mut(mid + cut);
+    rayon::join(
+        || {
+            if long_is_a {
+                merge_into(long_lo, short_lo, out_lo)
+            } else {
+                merge_into(short_lo, long_lo, out_lo)
+            }
+        },
+        || {
+            if long_is_a {
+                merge_into(long_hi, short_hi, out_hi)
+            } else {
+                merge_into(short_hi, long_hi, out_hi)
+            }
+        },
+    );
+}
+
+/// Merge two sorted slices and drop duplicates (used when combining
+/// coordinate sets).
+pub fn merge_dedup<T: Ord + Clone + Send + Sync>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut merged = parallel_merge(a, b);
+    merged.dedup();
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn merges_small() {
+        assert_eq!(parallel_merge(&[1, 3, 5], &[2, 4, 6]), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(parallel_merge::<i32>(&[], &[]), Vec::<i32>::new());
+        assert_eq!(parallel_merge(&[1, 2], &[]), vec![1, 2]);
+        assert_eq!(parallel_merge(&[], &[7]), vec![7]);
+    }
+
+    #[test]
+    fn merge_is_stable_for_duplicates() {
+        let a = vec![1, 1, 2, 2, 3];
+        let b = vec![1, 2, 2, 4];
+        let m = parallel_merge(&a, &b);
+        let mut expect = [a, b].concat();
+        expect.sort();
+        assert_eq!(m, expect);
+    }
+
+    #[test]
+    fn merges_large_random() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let mut a: Vec<i64> = (0..20_000).map(|_| rng.gen_range(-1000..1000)).collect();
+            let mut b: Vec<i64> = (0..35_000).map(|_| rng.gen_range(-1000..1000)).collect();
+            a.sort();
+            b.sort();
+            let m = parallel_merge(&a, &b);
+            let mut expect = [a, b].concat();
+            expect.sort();
+            assert_eq!(m, expect);
+        }
+    }
+
+    #[test]
+    fn merge_dedup_works() {
+        assert_eq!(merge_dedup(&[1, 2, 4], &[2, 3, 4]), vec![1, 2, 3, 4]);
+    }
+}

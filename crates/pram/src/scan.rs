@@ -1,0 +1,150 @@
+//! Parallel prefix (scan) — the paper's references [18, 19].
+//!
+//! Blocked two-pass algorithm: split the input into `O(p)` blocks, reduce
+//! each block in parallel, scan the block sums sequentially (there are few),
+//! then expand each block in parallel.  Work `O(n)`, depth `O(n/p + p)`.
+
+use rayon::prelude::*;
+
+/// Exclusive prefix scan under an associative operation with identity.
+/// `out[i] = id ⊕ a[0] ⊕ ... ⊕ a[i-1]`.
+pub fn exclusive_scan<T, F>(input: &[T], identity: T, op: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Send + Sync,
+{
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = rayon::current_num_threads().max(1);
+    let block = (n / (threads * 4)).max(1024).min(n);
+    let blocks: Vec<&[T]> = input.chunks(block).collect();
+    // Pass 1: reduce each block.
+    let sums: Vec<T> = blocks
+        .par_iter()
+        .map(|chunk| chunk.iter().fold(identity.clone(), |acc, x| op(&acc, x)))
+        .collect();
+    // Scan the block sums sequentially (few of them).
+    let mut offsets = Vec::with_capacity(sums.len());
+    let mut acc = identity.clone();
+    for s in &sums {
+        offsets.push(acc.clone());
+        acc = op(&acc, s);
+    }
+    // Pass 2: expand each block.
+    let mut out: Vec<T> = vec![identity.clone(); n];
+    out.par_chunks_mut(block).zip(blocks.par_iter()).zip(offsets.par_iter()).for_each(
+        |((out_chunk, in_chunk), offset)| {
+            let mut acc = offset.clone();
+            for (o, x) in out_chunk.iter_mut().zip(in_chunk.iter()) {
+                *o = acc.clone();
+                acc = op(&acc, x);
+            }
+        },
+    );
+    out
+}
+
+/// Inclusive prefix scan: `out[i] = a[0] ⊕ ... ⊕ a[i]`.
+pub fn inclusive_scan<T, F>(input: &[T], identity: T, op: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Send + Sync,
+{
+    let mut out = exclusive_scan(input, identity, &op);
+    for (o, x) in out.iter_mut().zip(input.iter()) {
+        *o = op(o, x);
+    }
+    out
+}
+
+/// Exclusive prefix sums of `usize` values — the common case used for
+/// compaction and processor allocation (Brent scheduling).
+pub fn prefix_sums(input: &[usize]) -> Vec<usize> {
+    exclusive_scan(input, 0usize, |a, b| a + b)
+}
+
+/// Parallel compaction: keep the elements selected by `keep`, preserving
+/// order, using a prefix scan for output placement (the standard PRAM
+/// array-packing idiom).
+pub fn compact<T: Clone + Send + Sync>(input: &[T], keep: &[bool]) -> Vec<T> {
+    assert_eq!(input.len(), keep.len());
+    let flags: Vec<usize> = keep.iter().map(|&k| usize::from(k)).collect();
+    let pos = prefix_sums(&flags);
+    let total = pos.last().copied().unwrap_or(0) + flags.last().copied().unwrap_or(0);
+    let mut out: Vec<Option<T>> = vec![None; total];
+    let slots: Vec<(usize, usize)> = (0..input.len()).filter(|&i| keep[i]).map(|i| (pos[i], i)).collect();
+    let filled: Vec<(usize, T)> = slots.into_par_iter().map(|(slot, i)| (slot, input[i].clone())).collect();
+    for (slot, value) in filled {
+        out[slot] = Some(value);
+    }
+    out.into_iter().map(|x| x.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_scan_matches_sequential() {
+        let input: Vec<i64> = (1..=1000).collect();
+        let out = exclusive_scan(&input, 0i64, |a, b| a + b);
+        let mut expect = Vec::new();
+        let mut acc = 0;
+        for x in &input {
+            expect.push(acc);
+            acc += x;
+        }
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn inclusive_scan_matches_sequential() {
+        let input: Vec<i64> = (0..500).map(|i| (i * 7) % 13 - 6).collect();
+        let out = inclusive_scan(&input, 0i64, |a, b| a + b);
+        let mut acc = 0;
+        let expect: Vec<i64> = input
+            .iter()
+            .map(|x| {
+                acc += x;
+                acc
+            })
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn scan_with_non_commutative_op() {
+        // string concatenation is associative but not commutative
+        let input: Vec<String> = ["a", "b", "c", "d", "e"].iter().map(|s| s.to_string()).collect();
+        let out = inclusive_scan(&input, String::new(), |a, b| format!("{a}{b}"));
+        assert_eq!(out.last().unwrap(), "abcde");
+        assert_eq!(out[2], "abc");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<i64> = vec![];
+        assert!(exclusive_scan(&empty, 0i64, |a, b| a + b).is_empty());
+        assert_eq!(exclusive_scan(&[42i64], 0, |a, b| a + b), vec![0]);
+        assert_eq!(inclusive_scan(&[42i64], 0, |a, b| a + b), vec![42]);
+    }
+
+    #[test]
+    fn prefix_sums_and_compact() {
+        let values: Vec<u32> = (0..200).collect();
+        let keep: Vec<bool> = values.iter().map(|v| v % 3 == 0).collect();
+        let compacted = compact(&values, &keep);
+        let expect: Vec<u32> = values.iter().copied().filter(|v| v % 3 == 0).collect();
+        assert_eq!(compacted, expect);
+        assert_eq!(prefix_sums(&[1, 2, 3, 4]), vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn large_input_stress() {
+        let input: Vec<i64> = (0..100_000).map(|i| i % 17).collect();
+        let out = inclusive_scan(&input, 0i64, |a, b| a + b);
+        assert_eq!(*out.last().unwrap(), input.iter().sum::<i64>());
+    }
+}

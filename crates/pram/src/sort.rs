@@ -1,0 +1,61 @@
+//! Parallel sorting — the paper's reference [10] (Cole's parallel merge
+//! sort).  The paper only needs "sort `V_R` in `O(log n)` time with `O(n)`
+//! processors" as a black box; we expose rayon's parallel merge/quick sort,
+//! which has the same `O(n log n)` work and logarithmic critical path, plus a
+//! by-key convenience wrapper.
+
+use rayon::prelude::*;
+
+/// Sort a vector in parallel.
+pub fn parallel_sort<T: Ord + Send>(mut v: Vec<T>) -> Vec<T> {
+    v.par_sort();
+    v
+}
+
+/// Sort a vector in parallel by a key extraction function.
+pub fn parallel_sort_by_key<T, K, F>(mut v: Vec<T>, key: F) -> Vec<T>
+where
+    T: Send,
+    K: Ord + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    v.par_sort_by_key(|x| key(x));
+    v
+}
+
+/// Sort and deduplicate (used for coordinate compression throughout the
+/// workspace).
+pub fn sorted_unique<T: Ord + Send>(v: Vec<T>) -> Vec<T> {
+    let mut v = parallel_sort(v);
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn sorts_random_data() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let v: Vec<i64> = (0..50_000).map(|_| rng.gen_range(-10_000..10_000)).collect();
+        let sorted = parallel_sort(v.clone());
+        let mut expect = v;
+        expect.sort();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn sorts_by_key() {
+        let v = vec![(3, 'a'), (1, 'b'), (2, 'c')];
+        let sorted = parallel_sort_by_key(v, |&(k, _)| k);
+        assert_eq!(sorted, vec![(1, 'b'), (2, 'c'), (3, 'a')]);
+    }
+
+    #[test]
+    fn sorted_unique_dedups() {
+        assert_eq!(sorted_unique(vec![5, 1, 5, 3, 1]), vec![1, 3, 5]);
+        assert_eq!(sorted_unique(Vec::<i32>::new()), Vec::<i32>::new());
+    }
+}

@@ -1,0 +1,246 @@
+//! # rsp-render — ASCII and SVG rendering of instances and constructions
+//!
+//! The paper's 14 figures are illustrative diagrams (staircases, envelopes,
+//! separators, the `B(Q)` points, the chunk partition of `Bound(P)`).  The
+//! `figure_gallery` example regenerates them from real data using this crate:
+//! obstacles, staircase chains, regions, points and paths are drawn either as
+//! a terminal-friendly ASCII grid or as a standalone SVG document.
+
+use rsp_geom::{Chain, Coord, ObstacleSet, Point, Rect, RectiPath, StairRegion};
+
+/// A drawing canvas collecting primitives; render with [`Scene::to_ascii`] or
+/// [`Scene::to_svg`].
+#[derive(Default)]
+pub struct Scene {
+    rects: Vec<(Rect, char)>,
+    chains: Vec<(Chain, char)>,
+    points: Vec<(Point, char)>,
+    regions: Vec<StairRegion>,
+}
+
+impl Scene {
+    pub fn new() -> Self {
+        Scene::default()
+    }
+
+    /// Add all obstacles of a set (drawn filled with `#`).
+    pub fn add_obstacles(&mut self, obstacles: &ObstacleSet) -> &mut Self {
+        for r in obstacles.iter() {
+            self.rects.push((*r, '#'));
+        }
+        self
+    }
+
+    pub fn add_rect(&mut self, r: Rect, glyph: char) -> &mut Self {
+        self.rects.push((r, glyph));
+        self
+    }
+
+    /// Add a chain (staircase, separator, escape path).
+    pub fn add_chain(&mut self, c: &Chain, glyph: char) -> &mut Self {
+        self.chains.push((c.clone(), glyph));
+        self
+    }
+
+    /// Add a path.
+    pub fn add_path(&mut self, p: &RectiPath, glyph: char) -> &mut Self {
+        self.chains.push((p.chain().clone(), glyph));
+        self
+    }
+
+    /// Add a marked point.
+    pub fn add_point(&mut self, p: Point, glyph: char) -> &mut Self {
+        self.points.push((p, glyph));
+        self
+    }
+
+    /// Add a region outline.
+    pub fn add_region(&mut self, r: &StairRegion) -> &mut Self {
+        self.regions.push(r.clone());
+        self
+    }
+
+    fn bounds(&self) -> Rect {
+        let mut lo = Point::new(i64::MAX, i64::MAX);
+        let mut hi = Point::new(i64::MIN, i64::MIN);
+        let mut consider = |p: Point| {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+        };
+        for (r, _) in &self.rects {
+            consider(r.ll());
+            consider(r.ur());
+        }
+        for (c, _) in &self.chains {
+            for &p in c.points() {
+                consider(p);
+            }
+        }
+        for (p, _) in &self.points {
+            consider(*p);
+        }
+        for r in &self.regions {
+            for &p in r.vertices() {
+                consider(p);
+            }
+        }
+        if lo.x > hi.x {
+            return Rect::new(0, 0, 1, 1);
+        }
+        Rect::new(lo.x, lo.y, hi.x.max(lo.x + 1), hi.y.max(lo.y + 1))
+    }
+
+    /// Render as an ASCII grid at most `max_cols` wide (y grows upwards, so
+    /// the first output line is the top of the scene).
+    pub fn to_ascii(&self, max_cols: usize) -> String {
+        let b = self.bounds().expand(1);
+        let w = (b.xmax - b.xmin + 1) as usize;
+        let h = (b.ymax - b.ymin + 1) as usize;
+        let scale = (w.div_ceil(max_cols.max(10))).max(1) as Coord;
+        let cols = ((b.xmax - b.xmin) / scale + 1) as usize;
+        let rows = ((b.ymax - b.ymin) / scale + 1) as usize;
+        let _ = h;
+        let mut grid = vec![vec![' '; cols]; rows];
+        let to_cell = |p: Point| -> (usize, usize) {
+            (((p.x - b.xmin) / scale) as usize, ((p.y - b.ymin) / scale) as usize)
+        };
+        // region outlines first (lowest layer)
+        for region in &self.regions {
+            for (a, c) in region.edges() {
+                draw_segment(&mut grid, to_cell(a), to_cell(c), '.');
+            }
+        }
+        for (r, glyph) in &self.rects {
+            let (c0, r0) = to_cell(r.ll());
+            let (c1, r1) = to_cell(r.ur());
+            for row in grid.iter_mut().take(r1 + 1).skip(r0) {
+                for cell in row.iter_mut().take(c1 + 1).skip(c0) {
+                    *cell = *glyph;
+                }
+            }
+        }
+        for (chain, glyph) in &self.chains {
+            for (a, c) in chain.segments() {
+                draw_segment(&mut grid, to_cell(a), to_cell(c), *glyph);
+            }
+        }
+        for (p, glyph) in &self.points {
+            let (c, r) = to_cell(*p);
+            grid[r][c] = *glyph;
+        }
+        let mut out = String::new();
+        for row in grid.iter().rev() {
+            let line: String = row.iter().collect();
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a standalone SVG document (y axis flipped so that larger y
+    /// is up, matching the paper's figures).
+    pub fn to_svg(&self, target_width: f64) -> String {
+        let b = self.bounds().expand(2);
+        let w = (b.xmax - b.xmin) as f64;
+        let h = (b.ymax - b.ymin) as f64;
+        let scale = target_width / w.max(1.0);
+        let sw = w * scale;
+        let sh = h * scale;
+        let tx = |x: Coord| (x - b.xmin) as f64 * scale;
+        let ty = |y: Coord| sh - (y - b.ymin) as f64 * scale;
+        let mut s = String::new();
+        s.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{sw:.0}\" height=\"{sh:.0}\" viewBox=\"0 0 {sw:.1} {sh:.1}\">\n"
+        ));
+        s.push_str(&format!("<rect x=\"0\" y=\"0\" width=\"{sw:.1}\" height=\"{sh:.1}\" fill=\"white\"/>\n"));
+        for region in &self.regions {
+            let pts: Vec<String> = region.vertices().iter().map(|p| format!("{:.1},{:.1}", tx(p.x), ty(p.y))).collect();
+            s.push_str(&format!(
+                "<polygon points=\"{}\" fill=\"none\" stroke=\"#bbbbbb\" stroke-dasharray=\"4 3\" stroke-width=\"1\"/>\n",
+                pts.join(" ")
+            ));
+        }
+        for (r, _) in &self.rects {
+            s.push_str(&format!(
+                "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"#d0d7e5\" stroke=\"#333366\" stroke-width=\"1\"/>\n",
+                tx(r.xmin),
+                ty(r.ymax),
+                (r.width()) as f64 * scale,
+                (r.height()) as f64 * scale
+            ));
+        }
+        let palette = ["#cc3333", "#228833", "#3366cc", "#aa7700", "#aa33aa", "#117777"];
+        for (i, (chain, _)) in self.chains.iter().enumerate() {
+            let pts: Vec<String> = chain.points().iter().map(|p| format!("{:.1},{:.1}", tx(p.x), ty(p.y))).collect();
+            s.push_str(&format!(
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"2\"/>\n",
+                pts.join(" "),
+                palette[i % palette.len()]
+            ));
+        }
+        for (p, _) in &self.points {
+            s.push_str(&format!("<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"#000000\"/>\n", tx(p.x), ty(p.y)));
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+fn draw_segment(grid: &mut [Vec<char>], a: (usize, usize), b: (usize, usize), glyph: char) {
+    let (ac, ar) = a;
+    let (bc, br) = b;
+    if ac == bc {
+        for r in ar.min(br)..=ar.max(br) {
+            grid[r][ac] = glyph;
+        }
+    } else {
+        for c in ac.min(bc)..=ac.max(bc) {
+            grid[ar][c] = glyph;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scene() -> Scene {
+        let mut s = Scene::new();
+        let obs = ObstacleSet::new(vec![Rect::new(2, 2, 6, 5), Rect::new(10, 1, 14, 8)]);
+        s.add_obstacles(&obs);
+        s.add_chain(&Chain::new(vec![Point::new(0, 0), Point::new(0, 9), Point::new(15, 9)]), '*');
+        s.add_point(Point::new(8, 4), 'p');
+        s.add_region(&StairRegion::from_rect(Rect::new(-1, -1, 16, 10)));
+        s
+    }
+
+    #[test]
+    fn ascii_renders_and_contains_glyphs() {
+        let out = scene().to_ascii(100);
+        assert!(out.contains('#'));
+        assert!(out.contains('*'));
+        assert!(out.contains('p'));
+        assert!(out.lines().count() >= 10);
+    }
+
+    #[test]
+    fn ascii_downscales_when_wide() {
+        let mut s = Scene::new();
+        s.add_rect(Rect::new(0, 0, 2000, 50), '#');
+        let out = s.to_ascii(80);
+        assert!(out.lines().map(|l| l.len()).max().unwrap() <= 90);
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = scene().to_svg(400.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 3); // background + 2 obstacles
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("<polygon"));
+    }
+}

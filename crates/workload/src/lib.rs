@@ -1,0 +1,223 @@
+//! # rsp-workload — instance and query generators for the evaluation harness
+//!
+//! The paper contains no empirical evaluation, so the experiment suite
+//! (DESIGN.md §5) defines its own workloads.  This crate generates them
+//! reproducibly (seeded) and serialises them with serde so every benchmark
+//! run can be replayed:
+//!
+//! * [`uniform_disjoint`] — `n` disjoint rectangles placed in random cells of
+//!   a coarse grid with jittered size/position (the default workload, used by
+//!   E1, E3, E4, E8, E9);
+//! * [`clustered`] — obstacles concentrated in a few dense clusters
+//!   (stress-tests the separator balance, E1);
+//! * [`corridors`] — long thin walls with narrow gaps (stress-tests path
+//!   detours and path-length `k`, E6);
+//! * [`aspect_stress`] — extreme aspect-ratio rectangles;
+//! * [`query_pairs`] — random query point pairs, optionally snapped to
+//!   obstacle vertices (E5).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsp_geom::{ObstacleSet, Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A generated workload with its provenance, serialisable for replay.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Workload {
+    pub name: String,
+    pub seed: u64,
+    pub obstacles: ObstacleSet,
+}
+
+impl Workload {
+    pub fn n(&self) -> usize {
+        self.obstacles.len()
+    }
+}
+
+/// `n` pairwise-disjoint rectangles: random cells of a `side x side` grid
+/// (side ≈ sqrt(2n)) each receive at most one rectangle, jittered inside the
+/// cell.  Disjointness holds by construction.
+pub fn uniform_disjoint(n: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = ((2 * n.max(1)) as f64).sqrt().ceil() as i64 + 1;
+    let cell = 32i64;
+    let mut cells: Vec<(i64, i64)> = (0..side).flat_map(|i| (0..side).map(move |j| (i, j))).collect();
+    shuffle(&mut cells, &mut rng);
+    let rects: Vec<Rect> = cells
+        .iter()
+        .take(n)
+        .map(|&(ci, cj)| {
+            let x0 = ci * cell + rng.gen_range(1..8);
+            let y0 = cj * cell + rng.gen_range(1..8);
+            let w = rng.gen_range(3..=cell - 10);
+            let h = rng.gen_range(3..=cell - 10);
+            Rect::new(x0, y0, x0 + w, y0 + h)
+        })
+        .collect();
+    let obstacles = ObstacleSet::new(rects);
+    debug_assert!(obstacles.validate_disjoint().is_ok());
+    Workload { name: format!("uniform_disjoint(n={n})"), seed, obstacles }
+}
+
+/// Obstacles concentrated into `clusters` dense groups.
+pub fn clustered(n: usize, clusters: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clusters = clusters.max(1);
+    let per = n.div_ceil(clusters);
+    let side = ((2 * per.max(1)) as f64).sqrt().ceil() as i64 + 1;
+    let cell = 20i64;
+    let cluster_pitch = side * cell * 4;
+    let mut rects = Vec::with_capacity(n);
+    'outer: for c in 0..clusters {
+        let ox = (c as i64 % 4) * cluster_pitch;
+        let oy = (c as i64 / 4) * cluster_pitch;
+        let mut cells: Vec<(i64, i64)> = (0..side).flat_map(|i| (0..side).map(move |j| (i, j))).collect();
+        shuffle(&mut cells, &mut rng);
+        for &(ci, cj) in cells.iter().take(per) {
+            if rects.len() == n {
+                break 'outer;
+            }
+            let x0 = ox + ci * cell + rng.gen_range(1..5);
+            let y0 = oy + cj * cell + rng.gen_range(1..5);
+            rects.push(Rect::new(x0, y0, x0 + rng.gen_range(2..=cell - 8), y0 + rng.gen_range(2..=cell - 8)));
+        }
+    }
+    let obstacles = ObstacleSet::new(rects);
+    debug_assert!(obstacles.validate_disjoint().is_ok());
+    Workload { name: format!("clustered(n={n},k={clusters})"), seed, obstacles }
+}
+
+/// Long horizontal walls with one randomly placed gap each: forces long
+/// detours and large segment counts `k` for reported paths.
+pub fn corridors(walls: usize, width: i64, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let width = width.max(20);
+    let mut rects = Vec::new();
+    for i in 0..walls {
+        let y0 = (i as i64) * 10 + 5;
+        let gap_at = rng.gen_range(1..width - 6);
+        let gap_w = rng.gen_range(2..5);
+        if gap_at > 0 {
+            rects.push(Rect::new(0, y0, gap_at, y0 + 4));
+        }
+        if gap_at + gap_w < width {
+            rects.push(Rect::new(gap_at + gap_w, y0, width, y0 + 4));
+        }
+    }
+    let obstacles = ObstacleSet::new(rects);
+    debug_assert!(obstacles.validate_disjoint().is_ok());
+    Workload { name: format!("corridors(walls={walls})"), seed, obstacles }
+}
+
+/// Rectangles with extreme aspect ratios (very wide or very tall), laid out
+/// on a coarse grid.
+pub fn aspect_stress(n: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = ((2 * n.max(1)) as f64).sqrt().ceil() as i64 + 1;
+    let cell = 40i64;
+    let mut cells: Vec<(i64, i64)> = (0..side).flat_map(|i| (0..side).map(move |j| (i, j))).collect();
+    shuffle(&mut cells, &mut rng);
+    let rects: Vec<Rect> = cells
+        .iter()
+        .take(n)
+        .map(|&(ci, cj)| {
+            let x0 = ci * cell + 2;
+            let y0 = cj * cell + 2;
+            if rng.gen_bool(0.5) {
+                Rect::new(x0, y0, x0 + cell - 6, y0 + rng.gen_range(1..4))
+            } else {
+                Rect::new(x0, y0, x0 + rng.gen_range(1..4), y0 + cell - 6)
+            }
+        })
+        .collect();
+    let obstacles = ObstacleSet::new(rects);
+    debug_assert!(obstacles.validate_disjoint().is_ok());
+    Workload { name: format!("aspect_stress(n={n})"), seed, obstacles }
+}
+
+/// Random query pairs inside the bounding box of the obstacles (expanded a
+/// little), avoiding obstacle interiors.  If `snap_to_vertices` is set the
+/// points are obstacle vertices instead.
+pub fn query_pairs(obstacles: &ObstacleSet, count: usize, snap_to_vertices: bool, seed: u64) -> Vec<(Point, Point)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bbox = obstacles.bbox().unwrap_or(Rect::new(0, 0, 10, 10)).expand(5);
+    let vertices = obstacles.vertices();
+    let sample_point = |rng: &mut StdRng| -> Point {
+        if snap_to_vertices && !vertices.is_empty() {
+            vertices[rng.gen_range(0..vertices.len())]
+        } else {
+            loop {
+                let p = Point::new(rng.gen_range(bbox.xmin..=bbox.xmax), rng.gen_range(bbox.ymin..=bbox.ymax));
+                if obstacles.containing_obstacle(p).is_none() {
+                    return p;
+                }
+            }
+        }
+    };
+    (0..count).map(|_| (sample_point(&mut rng), sample_point(&mut rng))).collect()
+}
+
+fn shuffle<T>(v: &mut [T], rng: &mut StdRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_disjoint_and_sized() {
+        for n in [1, 5, 40, 150] {
+            let w = uniform_disjoint(n, 7);
+            assert_eq!(w.n(), n);
+            assert!(w.obstacles.validate_disjoint().is_ok());
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = uniform_disjoint(30, 42);
+        let b = uniform_disjoint(30, 42);
+        assert_eq!(a.obstacles.rects(), b.obstacles.rects());
+        let c = uniform_disjoint(30, 43);
+        assert_ne!(a.obstacles.rects(), c.obstacles.rects());
+    }
+
+    #[test]
+    fn clustered_and_aspect_and_corridors_are_disjoint() {
+        assert!(clustered(60, 4, 1).obstacles.validate_disjoint().is_ok());
+        assert!(aspect_stress(50, 2).obstacles.validate_disjoint().is_ok());
+        let w = corridors(10, 100, 3);
+        assert!(w.obstacles.validate_disjoint().is_ok());
+        assert!(w.n() >= 10);
+    }
+
+    #[test]
+    fn query_pairs_avoid_interiors() {
+        let w = uniform_disjoint(25, 9);
+        let qs = query_pairs(&w.obstacles, 50, false, 11);
+        assert_eq!(qs.len(), 50);
+        for (a, b) in qs {
+            assert!(w.obstacles.containing_obstacle(a).is_none());
+            assert!(w.obstacles.containing_obstacle(b).is_none());
+        }
+        let vs = query_pairs(&w.obstacles, 20, true, 12);
+        let vertices = w.obstacles.vertices();
+        for (a, b) in vs {
+            assert!(vertices.contains(&a) && vertices.contains(&b));
+        }
+    }
+
+    #[test]
+    fn workload_serialises() {
+        let w = uniform_disjoint(10, 5);
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n(), 10);
+        assert_eq!(back.obstacles.rects(), w.obstacles.rects());
+    }
+}

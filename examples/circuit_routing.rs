@@ -1,0 +1,72 @@
+//! Wire-length estimation for circuit routing — one of the applications the
+//! paper's introduction motivates (wire layout / circuit design).
+//!
+//! A chip floorplan is modelled as a set of rectangular macro blocks
+//! (obstacles).  Nets connect pins placed on block boundaries; the router
+//! wants, for every net, the shortest rectilinear wire length that avoids
+//! routing over the macros.  We build the all-pairs vertex structure once and
+//! then answer thousands of pin-to-pin queries in constant/logarithmic time.
+//!
+//! Run with `cargo run --release --example circuit_routing`.
+
+use rectilinear_shortest_paths::core::query::PathLengthOracle;
+use rectilinear_shortest_paths::geom::{Point, INF};
+use rectilinear_shortest_paths::workload::{query_pairs, uniform_disjoint};
+use std::time::Instant;
+
+fn main() {
+    // A synthetic floorplan with 64 macro blocks.
+    let floorplan = uniform_disjoint(64, 2024);
+    let obstacles = &floorplan.obstacles;
+    println!("floorplan: {} macro blocks, {} block corners", obstacles.len(), obstacles.vertices().len());
+
+    let t0 = Instant::now();
+    let oracle = PathLengthOracle::build(obstacles);
+    println!("routing oracle built in {:.3} s", t0.elapsed().as_secs_f64());
+
+    // Pin-to-pin nets: pins sit at block corners (vertex queries, O(1)) ...
+    let corner_nets = query_pairs(obstacles, 2_000, true, 7);
+    let t1 = Instant::now();
+    let mut total_wire: i64 = 0;
+    for &(a, b) in &corner_nets {
+        total_wire += oracle.vertex_distance(a, b).unwrap_or(0);
+    }
+    let corner_time = t1.elapsed();
+
+    // ... and free pins anywhere on the die (arbitrary-point queries, O(log n)).
+    let free_nets = query_pairs(obstacles, 2_000, false, 8);
+    let t2 = Instant::now();
+    let mut detour_count = 0usize;
+    let mut worst_detour = 0i64;
+    for &(a, b) in &free_nets {
+        let d = oracle.distance(a, b);
+        if d < INF {
+            let detour = d - a.l1(b);
+            if detour > 0 {
+                detour_count += 1;
+                worst_detour = worst_detour.max(detour);
+            }
+        }
+    }
+    let free_time = t2.elapsed();
+
+    println!(
+        "{} corner-to-corner nets: total wire length {}, {:.2} µs/query",
+        corner_nets.len(),
+        total_wire,
+        corner_time.as_secs_f64() * 1e6 / corner_nets.len() as f64
+    );
+    println!(
+        "{} free-pin nets: {} require detours (worst detour {}), {:.2} µs/query",
+        free_nets.len(),
+        detour_count,
+        worst_detour,
+        free_time.as_secs_f64() * 1e6 / free_nets.len() as f64
+    );
+
+    // Sanity: the router never reports less than the Manhattan bound.
+    let sample = Point::new(0, 0);
+    for &(a, _) in corner_nets.iter().take(50) {
+        assert!(oracle.distance(sample, a) >= sample.l1(a));
+    }
+}

@@ -1,0 +1,134 @@
+//! Regenerate the paper's illustrative figures from real data (experiments
+//! F1–F5 of DESIGN.md).  Each figure is printed as ASCII and also written as
+//! an SVG file under `target/figures/`.
+//!
+//! Run with `cargo run --release --example figure_gallery`.
+
+use rectilinear_shortest_paths::core::separator::find_separator_unbounded;
+use rectilinear_shortest_paths::core::trace::{escape_path, EscapeKind};
+use rectilinear_shortest_paths::core::tree::RecursionTree;
+use rectilinear_shortest_paths::geom::rayshoot::ShootIndex;
+use rectilinear_shortest_paths::geom::staircase::{envelope, max_staircase, Quadrant};
+use rectilinear_shortest_paths::geom::{ObstacleSet, Point, Rect, StairRegion};
+use rectilinear_shortest_paths::monge::{is_monge, MinPlusMatrix};
+use rectilinear_shortest_paths::render::Scene;
+use rectilinear_shortest_paths::workload::uniform_disjoint;
+use std::fs;
+use std::path::Path;
+
+fn save(name: &str, scene: &Scene) {
+    let dir = Path::new("target/figures");
+    fs::create_dir_all(dir).ok();
+    let path = dir.join(format!("{name}.svg"));
+    fs::write(&path, scene.to_svg(640.0)).expect("write svg");
+    println!("  (svg written to {})", path.display());
+}
+
+fn sample_obstacles() -> ObstacleSet {
+    ObstacleSet::new(vec![
+        Rect::new(2, 10, 6, 14),
+        Rect::new(9, 4, 13, 8),
+        Rect::new(16, 12, 20, 18),
+        Rect::new(5, 1, 8, 3),
+        Rect::new(14, 0, 18, 3),
+        Rect::new(1, 18, 5, 21),
+    ])
+}
+
+fn main() {
+    let obstacles = sample_obstacles();
+    let window = obstacles.bbox().unwrap().expand(4);
+
+    // ---- Figure 1 & 2: MAX staircases and the envelope -------------------
+    println!("Figure 1/2 — MAX_NE and MAX_SW staircases and the envelope Env(R'):");
+    let mut fig1 = Scene::new();
+    fig1.add_obstacles(&obstacles);
+    if let Some(ne) = max_staircase(&obstacles, Quadrant::NE, window) {
+        fig1.add_chain(&ne, '^');
+    }
+    if let Some(sw) = max_staircase(&obstacles, Quadrant::SW, window) {
+        fig1.add_chain(&sw, 'v');
+    }
+    if let Some(env) = envelope(&obstacles, window) {
+        fig1.add_region(&env);
+    }
+    println!("{}", fig1.to_ascii(100));
+    save("fig1_max_staircases", &fig1);
+
+    // ---- Figure 3: the boundary discretisation B(Q) ----------------------
+    println!("Figure 3 — the boundary discretisation B(Q) (visibility projections):");
+    let region = StairRegion::from_rect(window);
+    let bq = rectilinear_shortest_paths::geom::bq::visibility_discretization(&region, &obstacles);
+    let mut fig3 = Scene::new();
+    fig3.add_obstacles(&obstacles).add_region(&region);
+    for &p in &bq {
+        fig3.add_point(p, 'o');
+    }
+    println!("  |B(Q)| = {} points on the boundary", bq.len());
+    save("fig3_bq", &fig3);
+
+    // ---- Figure 5: escape paths NE(p) and WS(p) ---------------------------
+    println!("Figure 5 — the escape paths NE(p) and WS(p):");
+    let index = ShootIndex::build(&obstacles);
+    let p = Point::new(10, 2);
+    let ne = escape_path(&obstacles, &index, &region, p, EscapeKind::NE);
+    let ws = escape_path(&obstacles, &index, &region, p, EscapeKind::WS);
+    let mut fig5 = Scene::new();
+    fig5.add_obstacles(&obstacles).add_chain(&ne, '+').add_chain(&ws, '-').add_point(p, 'p');
+    println!("{}", fig5.to_ascii(100));
+    save("fig5_escape_paths", &fig5);
+
+    // ---- Figure 6: the staircase separator --------------------------------
+    println!("Figure 6 — the Theorem-2 staircase separator:");
+    let bigger = uniform_disjoint(24, 5).obstacles;
+    let sep = find_separator_unbounded(&bigger).expect("separator exists");
+    println!(
+        "  split {} obstacles into {} above / {} below (balance {:.2})",
+        bigger.len(),
+        sep.above.len(),
+        sep.below.len(),
+        sep.max_side() as f64 / bigger.len() as f64
+    );
+    let mut fig6 = Scene::new();
+    fig6.add_obstacles(&bigger).add_chain(&sep.chain, '#').add_point(sep.pivot, 'p');
+    save("fig6_separator", &fig6);
+
+    // ---- Figure 4: Monge vs non-Monge length matrices ---------------------
+    println!("Figure 4 — Monge vs non-Monge path-length matrices:");
+    // Points on two opposite sides of a convex clear region: Monge.
+    let xs_top = [0i64, 3, 7, 11];
+    let xs_bottom = [1i64, 4, 9];
+    let monge = MinPlusMatrix::from_fn(xs_top.len(), xs_bottom.len(), |i, j| (xs_top[i] - xs_bottom[j]).abs() + 10);
+    println!("  convex-boundary matrix is Monge: {}", is_monge(&monge));
+    // The Fig. 4(b) situation: crossing pairs become cheaper -> non-Monge.
+    let non_monge = MinPlusMatrix::from_rows(vec![vec![5, 1], vec![1, 5]]);
+    println!("  crossing-pairs matrix is Monge: {}", is_monge(&non_monge));
+
+    // ---- Figures 9-13: the recursion tree ---------------------------------
+    println!("Figures 9–13 — the recursion tree of Section 6.1 (sizes, separators, depths):");
+    let tree = RecursionTree::build(&bigger);
+    println!("{}", tree.summary());
+    println!(
+        "  {} nodes, height {}, worst balance {:.2}",
+        tree.len(),
+        tree.height(),
+        tree.worst_balance()
+    );
+
+    // ---- Figure 14: the chunk partition for |P| >> n -----------------------
+    println!("Figure 14 — partition of Bound(P) into chunks for |P| >> n:");
+    let env = bigger.bbox().unwrap();
+    let container = env.expand(30);
+    let mut fig14 = Scene::new();
+    fig14.add_obstacles(&bigger).add_region(&StairRegion::from_rect(container)).add_rect(env, '.');
+    for x in bigger.xs() {
+        fig14.add_point(Point::new(x, env.ymax), 'k');
+        fig14.add_point(Point::new(x, env.ymin), 'k');
+    }
+    for y in bigger.ys() {
+        fig14.add_point(Point::new(env.xmin, y), 'k');
+        fig14.add_point(Point::new(env.xmax, y), 'k');
+    }
+    save("fig14_chunks", &fig14);
+    println!("done — SVGs in target/figures/");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build the shortest-path data structure for a handful of
+//! rectangular obstacles and answer length and path queries.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use rectilinear_shortest_paths::core::dnc::{build_boundary_matrix_bbox, DncOptions};
+use rectilinear_shortest_paths::core::query::PathLengthOracle;
+use rectilinear_shortest_paths::core::sptree::ShortestPathTrees;
+use rectilinear_shortest_paths::geom::{ObstacleSet, Point, Rect};
+
+fn main() {
+    // A rectilinear "floor plan": a few axis-parallel rectangular obstacles.
+    let obstacles = ObstacleSet::new(vec![
+        Rect::new(2, 2, 6, 10),
+        Rect::new(9, 0, 12, 6),
+        Rect::new(8, 9, 15, 12),
+        Rect::new(16, 3, 19, 14),
+        Rect::new(3, 13, 7, 16),
+    ]);
+    obstacles.validate_disjoint().expect("obstacles must be disjoint");
+
+    // 1. Length queries (Section 6 of the paper): O(1) between obstacle
+    //    vertices, O(log n) between arbitrary points.
+    let oracle = PathLengthOracle::build(&obstacles);
+    let a = Point::new(0, 0);
+    let b = Point::new(20, 15);
+    println!("shortest obstacle-avoiding length {:?} -> {:?}: {}", a, b, oracle.distance(a, b));
+    let v1 = Point::new(6, 10); // an obstacle vertex
+    let v2 = Point::new(16, 3); // another obstacle vertex
+    println!("vertex-to-vertex (O(1) lookup) {:?} -> {:?}: {:?}", v1, v2, oracle.vertex_distance(v1, v2));
+
+    // 2. Actual paths (Section 8): shortest-path trees + parallel reporting.
+    let trees = ShortestPathTrees::from_oracle(PathLengthOracle::build(&obstacles), Some(&[v1]));
+    let path = trees.path_between(v1, v2).expect("both endpoints are vertices");
+    println!(
+        "an actual shortest path with {} segments and length {}: {:?}",
+        path.num_segments(),
+        path.length(),
+        path.points()
+    );
+    assert!(path.avoids(&obstacles));
+
+    // 3. The boundary-to-boundary matrix D_Q (Section 5), built by the
+    //    parallel divide-and-conquer with staircase separators and Monge
+    //    (min,+) products.
+    let bm = build_boundary_matrix_bbox(&obstacles, 2, &DncOptions::default());
+    println!(
+        "boundary matrix over {} discretisation points; {} recursion nodes, {} Monge products, {} general products",
+        bm.points.len(),
+        bm.stats.nodes,
+        bm.stats.monge_products,
+        bm.stats.general_products
+    );
+}

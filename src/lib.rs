@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the public API of the workspace.
+pub use rsp_core as core;
+pub use rsp_geom as geom;
+pub use rsp_monge as monge;
+pub use rsp_pram as pram;
+pub use rsp_render as render;
+pub use rsp_workload as workload;

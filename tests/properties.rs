@@ -1,0 +1,100 @@
+//! Property-based tests (proptest) over the workspace's core invariants.
+
+use proptest::prelude::*;
+use rectilinear_shortest_paths::core::dnc::one_rect_distance;
+use rectilinear_shortest_paths::core::query::PathLengthOracle;
+use rectilinear_shortest_paths::core::separator::find_separator_unbounded;
+use rectilinear_shortest_paths::core::seq::SingleSourceEngine;
+use rectilinear_shortest_paths::core::trace::chain_avoids_obstacles;
+use rectilinear_shortest_paths::geom::hanan::ground_truth_distance;
+use rectilinear_shortest_paths::geom::{ObstacleSet, Point, Rect};
+use rectilinear_shortest_paths::monge::{is_monge, min_plus_naive, min_plus_parallel, MinPlusMatrix};
+use rectilinear_shortest_paths::workload::uniform_disjoint;
+
+/// Strategy: a set of disjoint rectangles on a coarse grid.
+fn obstacles_strategy(max_n: usize) -> impl Strategy<Value = ObstacleSet> {
+    (1..=max_n, any::<u64>()).prop_map(|(n, seed)| uniform_disjoint(n, seed).obstacles)
+}
+
+fn sorted_coords(len: usize) -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-300i64..300, 1..=len).prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 2: the separator never cuts an obstacle, is a staircase, has
+    /// O(n) segments and respects the 7n/8 balance bound.
+    #[test]
+    fn separator_properties(obs in obstacles_strategy(40)) {
+        prop_assume!(obs.len() >= 2);
+        let sep = find_separator_unbounded(&obs).unwrap();
+        prop_assert!(chain_avoids_obstacles(&sep.chain, &obs));
+        prop_assert!(sep.chain.is_staircase());
+        prop_assert!(sep.chain.num_segments() <= 2 * obs.len() + 4);
+        prop_assert!(sep.is_theorem2_balanced(obs.len()));
+        prop_assert_eq!(sep.above.len() + sep.below.len(), obs.len());
+    }
+
+    /// Lemma 3: the (min,+) product of Monge matrices computed via SMAWK
+    /// equals the naive product and is again Monge.
+    #[test]
+    fn monge_product_properties(xs in sorted_coords(12), ys in sorted_coords(10), zs in sorted_coords(14), gap in 0i64..40) {
+        let a = MinPlusMatrix::from_fn(xs.len(), ys.len(), |i, j| (xs[i] - ys[j]).abs() + gap);
+        let b = MinPlusMatrix::from_fn(ys.len(), zs.len(), |i, j| (ys[i] - zs[j]).abs() + gap);
+        prop_assert!(is_monge(&a));
+        prop_assert!(is_monge(&b));
+        let fast = min_plus_parallel(&a, &b);
+        prop_assert_eq!(&fast, &min_plus_naive(&a, &b));
+        prop_assert!(is_monge(&fast));
+    }
+
+    /// The single-rectangle closed form matches the exact oracle.
+    #[test]
+    fn one_rect_distance_is_exact(
+        rx in -50i64..50, ry in -50i64..50, w in 1i64..40, h in 1i64..40,
+        px in -100i64..100, py in -100i64..100, qx in -100i64..100, qy in -100i64..100,
+    ) {
+        let r = Rect::new(rx, ry, rx + w, ry + h);
+        let p = Point::new(px, py);
+        let q = Point::new(qx, qy);
+        prop_assume!(!r.contains_open(p) && !r.contains_open(q));
+        let obs = ObstacleSet::new(vec![r]);
+        prop_assert_eq!(one_rect_distance(&r, p, q), ground_truth_distance(&obs, p, q));
+    }
+
+    /// Single-source distances are a metric-consistent upper bound family:
+    /// symmetric, zero on the diagonal, never below L1, and exact versus the
+    /// Hanan ground truth.
+    #[test]
+    fn single_source_engine_is_exact(obs in obstacles_strategy(8), sx in -20i64..200, sy in -20i64..200) {
+        let source = Point::new(sx, sy);
+        prop_assume!(obs.containing_obstacle(source).is_none());
+        let engine = SingleSourceEngine::new(&obs);
+        let dist = engine.distances_from(source);
+        for (i, &v) in engine.vertices().iter().enumerate() {
+            prop_assert!(dist[i] >= source.l1(v));
+            prop_assert_eq!(dist[i], ground_truth_distance(&obs, source, v));
+        }
+    }
+
+    /// Oracle queries are symmetric, satisfy the triangle inequality over a
+    /// sampled midpoint set, and never beat the L1 lower bound.
+    #[test]
+    fn oracle_metric_properties(obs in obstacles_strategy(6), ax in -10i64..150, ay in -10i64..150, bx in -10i64..150, by in -10i64..150) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        prop_assume!(obs.containing_obstacle(a).is_none() && obs.containing_obstacle(b).is_none());
+        let oracle = PathLengthOracle::build(&obs);
+        let d_ab = oracle.distance(a, b);
+        prop_assert_eq!(d_ab, oracle.distance(b, a));
+        prop_assert!(d_ab >= a.l1(b));
+        prop_assert_eq!(oracle.distance(a, a), 0);
+        for &m in obs.vertices().iter().take(6) {
+            prop_assert!(d_ab <= oracle.distance(a, m) + oracle.distance(m, b));
+        }
+    }
+}
