@@ -27,7 +27,9 @@ fn bench(c: &mut Criterion) {
         let (a, b) = factors(n, 3);
         group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| bch.iter(|| min_plus_naive(&a, &b)));
         group.bench_with_input(BenchmarkId::new("monge_smawk", n), &n, |bch, _| bch.iter(|| min_plus_monge(&a, &b)));
-        group.bench_with_input(BenchmarkId::new("monge_parallel", n), &n, |bch, _| bch.iter(|| min_plus_parallel(&a, &b)));
+        group.bench_with_input(BenchmarkId::new("monge_parallel", n), &n, |bch, _| {
+            bch.iter(|| min_plus_parallel(&a, &b))
+        });
         group.bench_with_input(BenchmarkId::new("general_parallel", n), &n, |bch, _| {
             bch.iter(|| min_plus_general_parallel(&a, &b))
         });
@@ -35,7 +37,9 @@ fn bench(c: &mut Criterion) {
     // one larger size where the naive product is no longer measured
     for &n in &[1024usize, 2048] {
         let (a, b) = factors(n, 4);
-        group.bench_with_input(BenchmarkId::new("monge_parallel", n), &n, |bch, _| bch.iter(|| min_plus_parallel(&a, &b)));
+        group.bench_with_input(BenchmarkId::new("monge_parallel", n), &n, |bch, _| {
+            bch.iter(|| min_plus_parallel(&a, &b))
+        });
     }
     group.finish();
 }

@@ -17,7 +17,9 @@ fn bench(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("dnc_no_monge", n), &w.obstacles, |b, obs| {
             b.iter(|| {
-                build_boundary_matrix_bbox(obs, 3, &DncOptions { use_monge: false, ..DncOptions::default() }).stats.nodes
+                build_boundary_matrix_bbox(obs, 3, &DncOptions { use_monge: false, ..DncOptions::default() })
+                    .stats
+                    .nodes
             })
         });
         group.bench_with_input(BenchmarkId::new("dnc_sequential_schedule", n), &w.obstacles, |b, obs| {

@@ -16,9 +16,8 @@ fn bench(c: &mut Criterion) {
             b.iter(|| VertexApsp::build(obs).len())
         });
         let bbox = w.obstacles.bbox().unwrap().expand(5);
-        let boundary: Vec<Point> = (0..32)
-            .map(|i| Point::new(bbox.xmin + (bbox.width() * i as i64) / 32, bbox.ymin))
-            .collect();
+        let boundary: Vec<Point> =
+            (0..32).map(|i| Point::new(bbox.xmin + (bbox.width() * i as i64) / 32, bbox.ymin)).collect();
         group.bench_with_input(BenchmarkId::new("bp_to_vr", n), &w.obstacles, |b, obs| {
             b.iter(|| BoundaryToVertex::build(obs, &boundary).vertices().len())
         });

@@ -19,7 +19,9 @@ fn bench(c: &mut Criterion) {
             b.iter(|| run_on_pool(p, || VertexApsp::build(&w.obstacles).len()))
         });
         group.bench_with_input(BenchmarkId::new("boundary_dnc", threads), &threads, |b, &p| {
-            b.iter(|| run_on_pool(p, || build_boundary_matrix_bbox(&w.obstacles, 3, &DncOptions::default()).stats.nodes))
+            b.iter(|| {
+                run_on_pool(p, || build_boundary_matrix_bbox(&w.obstacles, 3, &DncOptions::default()).stats.nodes)
+            })
         });
     }
     group.finish();

@@ -66,6 +66,7 @@ impl VertexApsp {
         self.vertices.len()
     }
 
+    /// True when the obstacle set was empty (no vertices).
     pub fn is_empty(&self) -> bool {
         self.vertices.is_empty()
     }
@@ -107,6 +108,8 @@ pub struct BoundaryToVertex {
 }
 
 impl BoundaryToVertex {
+    /// Build the boundary-to-vertex length structure by fanning the
+    /// single-source engine out over `boundary_points` (Section 6.3).
     pub fn build(obstacles: &ObstacleSet, boundary_points: &[Point]) -> Self {
         let engine = SingleSourceEngine::new(obstacles);
         let vertices = engine.vertices().to_vec();
@@ -114,10 +117,12 @@ impl BoundaryToVertex {
         BoundaryToVertex { boundary_points: boundary_points.to_vec(), vertices, matrix: MinPlusMatrix::from_rows(rows) }
     }
 
+    /// The boundary points (row index space).
     pub fn boundary_points(&self) -> &[Point] {
         &self.boundary_points
     }
 
+    /// The obstacle vertices (column index space).
     pub fn vertices(&self) -> &[Point] {
         &self.vertices
     }
@@ -128,6 +133,7 @@ impl BoundaryToVertex {
         self.matrix.get(i, j)
     }
 
+    /// The full boundary-to-vertex length matrix.
     pub fn matrix(&self) -> &MinPlusMatrix {
         &self.matrix
     }

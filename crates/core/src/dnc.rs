@@ -65,12 +65,19 @@ impl Default for DncOptions {
 /// Counters describing one construction run (used by the E3 ablation).
 #[derive(Clone, Debug, Default)]
 pub struct DncStats {
+    /// Recursion-tree nodes visited.
     pub nodes: usize,
+    /// Leaves of the recursion (regions solved directly).
     pub leaves: usize,
+    /// Leaves that fell back to the Hanan-grid solver.
     pub hanan_fallback_leaves: usize,
+    /// Conquer steps performed as Monge (min,+) products.
     pub monge_products: usize,
+    /// Conquer steps that needed the general (min,+) product.
     pub general_products: usize,
+    /// Maximum recursion depth reached.
     pub max_depth: usize,
+    /// Largest boundary discretisation `|B(Q)|` seen at any node.
     pub largest_boundary: usize,
 }
 
@@ -183,7 +190,13 @@ fn boundary_discretisation(region: &StairRegion, obstacles: &ObstacleSet) -> Vec
     region.boundary_grid_points(&xs, &ys)
 }
 
-fn solve(obstacles: ObstacleSet, region: StairRegion, opts: &DncOptions, depth: usize, counters: &Counters) -> NodeResult {
+fn solve(
+    obstacles: ObstacleSet,
+    region: StairRegion,
+    opts: &DncOptions,
+    depth: usize,
+    counters: &Counters,
+) -> NodeResult {
     counters.nodes.fetch_add(1, Ordering::Relaxed);
     Counters::max_update(&counters.max_depth, depth);
     let points = boundary_discretisation(&region, &obstacles);
@@ -275,20 +288,12 @@ pub fn one_rect_distance(r: &Rect, p: Point, q: Point) -> Dist {
     // it covers their whole y-range — the detour climbs over the top or dips
     // under the bottom.
     let opposite_x = (p.x <= r.xmin && q.x >= r.xmax) || (q.x <= r.xmin && p.x >= r.xmax);
-    let wall_extra = if opposite_x && r.ymin <= y1 && r.ymax >= y2 {
-        2 * (r.ymax - y2).min(y1 - r.ymin)
-    } else {
-        INF
-    };
+    let wall_extra = if opposite_x && r.ymin <= y1 && r.ymax >= y2 { 2 * (r.ymax - y2).min(y1 - r.ymin) } else { INF };
     // "Slab" case: p and q on opposite horizontal sides while the rectangle
     // covers their whole x-range — the detour goes around the left or right
     // end.
     let opposite_y = (p.y <= r.ymin && q.y >= r.ymax) || (q.y <= r.ymin && p.y >= r.ymax);
-    let slab_extra = if opposite_y && r.xmin <= x1 && r.xmax >= x2 {
-        2 * (r.xmax - x2).min(x1 - r.xmin)
-    } else {
-        INF
-    };
+    let slab_extra = if opposite_y && r.xmin <= x1 && r.xmax >= x2 { 2 * (r.xmax - x2).min(x1 - r.xmin) } else { INF };
     let extra = wall_extra.min(slab_extra);
     if extra >= INF {
         direct
@@ -357,7 +362,8 @@ fn extend_child(child: &NodeResult, child_obs: &ObstacleSet, extra: &[Point]) ->
     let index = ShootIndex::build(child_obs);
     // circular positions of the child's own points along its boundary
     let perimeter = child.region.perimeter();
-    let pos_of = |p: Point| -> Coord { boundary_arc_position(&child.region, p).expect("point must be on the child's boundary") };
+    let pos_of =
+        |p: Point| -> Coord { boundary_arc_position(&child.region, p).expect("point must be on the child's boundary") };
     let own_pos: Vec<Coord> = child.points.iter().map(|&p| pos_of(p)).collect();
     // new points, deduplicated against the child's own points
     let mut new_points: Vec<Point> = Vec::new();
@@ -514,8 +520,10 @@ fn merge(
     let ext_below = extend_child(&child_below, below_obs, &below_targets);
 
     // Cross-side distances via one (min,+) product over Middle.
-    let above_parent: Vec<Point> = parent_points.iter().zip(&side_of).filter(|&(_, &s)| s == 0).map(|(&p, _)| p).collect();
-    let below_parent: Vec<Point> = parent_points.iter().zip(&side_of).filter(|&(_, &s)| s == 1).map(|(&p, _)| p).collect();
+    let above_parent: Vec<Point> =
+        parent_points.iter().zip(&side_of).filter(|&(_, &s)| s == 0).map(|(&p, _)| p).collect();
+    let below_parent: Vec<Point> =
+        parent_points.iter().zip(&side_of).filter(|&(_, &s)| s == 1).map(|(&p, _)| p).collect();
     let a_rows: Vec<usize> = above_parent.iter().map(|p| ext_above.index[p]).collect();
     let mid_a: Vec<usize> = middle.iter().map(|p| ext_above.index[p]).collect();
     let mid_b: Vec<usize> = middle.iter().map(|p| ext_below.index[p]).collect();
@@ -584,15 +592,9 @@ mod tests {
     fn verify_against_truth(obstacles: ObstacleSet, opts: &DncOptions) {
         let bm = build_boundary_matrix_bbox(&obstacles, 3, opts);
         let truth = ground_truth_matrix(&obstacles, &bm.points);
-        for i in 0..bm.points.len() {
-            for j in 0..bm.points.len() {
-                assert_eq!(
-                    bm.dist.get(i, j),
-                    truth[i][j],
-                    "mismatch {:?} -> {:?}",
-                    bm.points[i],
-                    bm.points[j]
-                );
+        for (i, row) in truth.iter().enumerate() {
+            for (j, &expected) in row.iter().enumerate() {
+                assert_eq!(bm.dist.get(i, j), expected, "mismatch {:?} -> {:?}", bm.points[i], bm.points[j]);
             }
         }
     }

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # rsp-core — Parallel rectilinear shortest paths with rectangular obstacles
 //!
 //! This crate implements the algorithms of Atallah & Chen (1991):

@@ -144,12 +144,9 @@ impl PathLengthOracle {
     /// If some one-bend (L-shaped) path between `a` and `b` is clear of
     /// obstacle interiors, return its bend point.
     pub fn l_connection(&self, a: Point, b: Point) -> Option<Point> {
-        for bend in [Point::new(b.x, a.y), Point::new(a.x, b.y)] {
-            if self.segment_clear(a, bend) && self.segment_clear(bend, b) {
-                return Some(bend);
-            }
-        }
-        None
+        [Point::new(b.x, a.y), Point::new(a.x, b.y)]
+            .into_iter()
+            .find(|&bend| self.segment_clear(a, bend) && self.segment_clear(bend, b))
     }
 
     fn segment_clear(&self, a: Point, b: Point) -> bool {
@@ -273,7 +270,7 @@ impl PathLengthOracle {
             }),
         };
         match (chain_distance, obstacle_distance) {
-            (Some(cd), od) if od.map_or(true, |o| cd <= o) => p.l1(q),
+            (Some(cd), od) if od.is_none_or(|o| cd <= o) => p.l1(q),
             (_, Some(_)) => {
                 let hitinfo = hit.unwrap();
                 let r = self.obstacles.rect(hitinfo.rect);
@@ -379,7 +376,7 @@ mod tests {
         assert_eq!(oracle.distance(Point::new(1, 1), Point::new(1, 1)), 0);
         assert_eq!(oracle.distance(Point::new(0, 0), Point::new(4, 9)), 13);
         // around the square: opposite edge midpoints
-        assert_eq!(oracle.distance(Point::new(4, 6), Point::new(9, 6)), 5 + 2 * 1);
+        assert_eq!(oracle.distance(Point::new(4, 6), Point::new(9, 6)), 5 + 2);
         // corner to corner along the boundary
         assert_eq!(oracle.distance(Point::new(5, 5), Point::new(8, 8)), 6);
     }

@@ -196,7 +196,10 @@ pub fn find_separator(obstacles: &ObstacleSet, index: &ShootIndex, region: &Stai
     let mut candidates: Vec<(Point, Orientation)> = Vec::new();
     let canonical = theorem2_pivot(obstacles);
     candidates.push(canonical);
-    candidates.push((canonical.0, if canonical.1 == Orientation::Increasing { Orientation::Decreasing } else { Orientation::Increasing }));
+    candidates.push((
+        canonical.0,
+        if canonical.1 == Orientation::Increasing { Orientation::Decreasing } else { Orientation::Increasing },
+    ));
     // Fallback pivots: coordinate quantiles of the obstacle vertices.
     let vertices = obstacles.vertices();
     let mut xs: Vec<Coord> = vertices.iter().map(|p| p.x).collect();
@@ -220,7 +223,7 @@ pub fn find_separator(obstacles: &ObstacleSet, index: &ShootIndex, region: &Stai
     let mut best: Option<Separator> = None;
     for (pivot, orientation) in candidates {
         if let Some(sep) = build_candidate(obstacles, index, region, pivot, orientation) {
-            if best.as_ref().map_or(true, |b| sep.max_side() < b.max_side()) {
+            if best.as_ref().is_none_or(|b| sep.max_side() < b.max_side()) {
                 best = Some(sep);
             }
             // The canonical candidate satisfying the theorem bound is good
@@ -260,10 +263,10 @@ mod tests {
             cells.swap(i, j);
         }
         for &(ci, cj) in cells.iter().take(n) {
-            let x0 = ci * cell + rng.gen_range(1..6);
-            let y0 = cj * cell + rng.gen_range(1..6);
-            let w = rng.gen_range(2..12);
-            let h = rng.gen_range(2..12);
+            let x0 = ci * cell + rng.gen_range(1i64..6);
+            let y0 = cj * cell + rng.gen_range(1i64..6);
+            let w = rng.gen_range(2i64..12);
+            let h = rng.gen_range(2i64..12);
             rects.push(Rect::new(x0, y0, x0 + w, y0 + h));
         }
         let obs = ObstacleSet::new(rects);
@@ -339,7 +342,8 @@ mod tests {
         let mut rects = Vec::new();
         for i in 0..8 {
             rects.push(Rect::new(20 + i * 6, 20 + i * 6, 24 + i * 6, 24 + i * 6)); // NE cluster
-            rects.push(Rect::new(-30 - i * 6, -30 - i * 6, -26 - i * 6, -26 - i * 6)); // SW cluster
+            rects.push(Rect::new(-30 - i * 6, -30 - i * 6, -26 - i * 6, -26 - i * 6));
+            // SW cluster
         }
         let obs = ObstacleSet::new(rects);
         let sep = find_separator_unbounded(&obs).unwrap();

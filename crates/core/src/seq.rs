@@ -85,6 +85,8 @@ pub struct SingleSourceEngine {
 }
 
 impl SingleSourceEngine {
+    /// Preprocess an obstacle set: build the four case-transformed views and
+    /// their ray-shooting indices (Section 9).
     pub fn new(obstacles: &ObstacleSet) -> Self {
         let original_vertices = obstacles.vertices();
         let views = CaseTransform::ALL
@@ -235,8 +237,8 @@ pub fn escape_chains_for_source(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rsp_geom::hanan::ground_truth_matrix;
     use rand::{rngs::StdRng, Rng, SeedableRng};
+    use rsp_geom::hanan::ground_truth_matrix;
 
     fn random_disjoint(n: usize, seed: u64) -> ObstacleSet {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -251,9 +253,9 @@ mod tests {
             .iter()
             .take(n)
             .map(|&(ci, cj)| {
-                let x0 = ci * cell + rng.gen_range(1..5);
-                let y0 = cj * cell + rng.gen_range(1..5);
-                Rect::new(x0, y0, x0 + rng.gen_range(2..9), y0 + rng.gen_range(2..9))
+                let x0 = ci * cell + rng.gen_range(1i64..5);
+                let y0 = cj * cell + rng.gen_range(1i64..5);
+                Rect::new(x0, y0, x0 + rng.gen_range(2i64..9), y0 + rng.gen_range(2i64..9))
             })
             .collect();
         ObstacleSet::new(rects)

@@ -11,9 +11,9 @@
 //! `k`-segment path in parallel chunks.
 
 use crate::query::{quadrant_of, PathLengthOracle};
+use rayon::prelude::*;
 use rsp_geom::{Chain, Dir, Dist, ObstacleSet, Point, RectiPath, INF};
 use rsp_pram::{Forest, LevelAncestor};
-use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// How a vertex connects to its parent in a shortest-path tree.
@@ -211,10 +211,8 @@ fn choose_parent(
     let quadrant = quadrant_of(source, w);
     let chain: &Chain = oracle.escape_chain(source_index, quadrant);
     let index = oracle.shoot_index();
-    let dirs = [
-        if source.x <= w.x { Dir::West } else { Dir::East },
-        if source.y <= w.y { Dir::South } else { Dir::North },
-    ];
+    let dirs =
+        [if source.x <= w.x { Dir::West } else { Dir::East }, if source.y <= w.y { Dir::South } else { Dir::North }];
     for dir in dirs {
         let hit = index.shoot(w, dir);
         let obstacle_distance = hit.map(|h| h.distance_from(w));
@@ -257,7 +255,7 @@ fn choose_parent(
             }),
         };
         if let Some((attach, cd)) = chain_crossing {
-            if obstacle_distance.map_or(true, |od| cd <= od) && w.l1(attach) + attach.l1(source) == total {
+            if obstacle_distance.is_none_or(|od| cd <= od) && w.l1(attach) + attach.l1(source) == total {
                 return Some(Connector::ChainAttach { attach, quadrant });
             }
         }

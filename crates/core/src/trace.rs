@@ -22,18 +22,28 @@ use rsp_geom::{Chain, Dir, ObstacleSet, Point, StairRegion};
 /// (perpendicular to `X`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct EscapeKind {
+    /// Preferred direction of travel.
     pub primary: Dir,
+    /// Side to go around blocking obstacles.
     pub policy: Dir,
 }
 
 impl EscapeKind {
+    /// North-going, veering east around obstacles.
     pub const NE: EscapeKind = EscapeKind { primary: Dir::North, policy: Dir::East };
+    /// North-going, veering west.
     pub const NW: EscapeKind = EscapeKind { primary: Dir::North, policy: Dir::West };
+    /// South-going, veering east.
     pub const SE: EscapeKind = EscapeKind { primary: Dir::South, policy: Dir::East };
+    /// South-going, veering west.
     pub const SW: EscapeKind = EscapeKind { primary: Dir::South, policy: Dir::West };
+    /// East-going, veering north.
     pub const EN: EscapeKind = EscapeKind { primary: Dir::East, policy: Dir::North };
+    /// East-going, veering south.
     pub const ES: EscapeKind = EscapeKind { primary: Dir::East, policy: Dir::South };
+    /// West-going, veering north.
     pub const WN: EscapeKind = EscapeKind { primary: Dir::West, policy: Dir::North };
+    /// West-going, veering south.
     pub const WS: EscapeKind = EscapeKind { primary: Dir::West, policy: Dir::South };
 
     /// All eight escape kinds.
@@ -60,7 +70,7 @@ fn first_boundary_point_on_segment(region: &StairRegion, a: Point, b: Point) -> 
         if p == a || !on_segment(a, b, p) {
             return;
         }
-        if best.map_or(true, |q| p.l1(a) < q.l1(a)) {
+        if best.is_none_or(|q| p.l1(a) < q.l1(a)) {
             best = Some(p);
         }
     };

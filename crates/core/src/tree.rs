@@ -29,6 +29,7 @@ pub struct RecursionNode {
 
 /// The materialised recursion tree of Section 6.1.
 pub struct RecursionTree {
+    /// All nodes, root first, children after their parent.
     pub nodes: Vec<RecursionNode>,
 }
 
@@ -45,7 +46,13 @@ impl RecursionTree {
 
     fn grow(&mut self, obstacles: &ObstacleSet, ids: Vec<usize>, region: StairRegion, depth: usize) -> usize {
         let my_index = self.nodes.len();
-        self.nodes.push(RecursionNode { obstacle_ids: ids.clone(), region: region.clone(), separator: None, children: Vec::new(), depth });
+        self.nodes.push(RecursionNode {
+            obstacle_ids: ids.clone(),
+            region: region.clone(),
+            separator: None,
+            children: Vec::new(),
+            depth,
+        });
         if ids.len() < 2 {
             return my_index;
         }
@@ -83,6 +90,7 @@ impl RecursionTree {
         self.nodes.len()
     }
 
+    /// True when the tree has no nodes.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }

@@ -24,25 +24,22 @@ use crate::region::StairRegion;
 pub fn boundary_exit(region: &StairRegion, p: Point, dir: Dir) -> Option<Point> {
     let mut best: Option<Point> = None;
     for (a, b) in region.edges() {
-        let hit = match dir {
-            Dir::North => {
-                (a.y == b.y && a.y >= p.y && a.x.min(b.x) <= p.x && p.x <= a.x.max(b.x)).then(|| Point::new(p.x, a.y))
-            }
-            Dir::South => {
-                (a.y == b.y && a.y <= p.y && a.x.min(b.x) <= p.x && p.x <= a.x.max(b.x)).then(|| Point::new(p.x, a.y))
-            }
-            Dir::East => {
-                (a.x == b.x && a.x >= p.x && a.y.min(b.y) <= p.y && p.y <= a.y.max(b.y)).then(|| Point::new(a.x, p.y))
-            }
-            Dir::West => {
-                (a.x == b.x && a.x <= p.x && a.y.min(b.y) <= p.y && p.y <= a.y.max(b.y)).then(|| Point::new(a.x, p.y))
-            }
-        };
+        let hit =
+            match dir {
+                Dir::North => (a.y == b.y && a.y >= p.y && a.x.min(b.x) <= p.x && p.x <= a.x.max(b.x))
+                    .then(|| Point::new(p.x, a.y)),
+                Dir::South => (a.y == b.y && a.y <= p.y && a.x.min(b.x) <= p.x && p.x <= a.x.max(b.x))
+                    .then(|| Point::new(p.x, a.y)),
+                Dir::East => (a.x == b.x && a.x >= p.x && a.y.min(b.y) <= p.y && p.y <= a.y.max(b.y))
+                    .then(|| Point::new(a.x, p.y)),
+                Dir::West => (a.x == b.x && a.x <= p.x && a.y.min(b.y) <= p.y && p.y <= a.y.max(b.y))
+                    .then(|| Point::new(a.x, p.y)),
+            };
         if let Some(h) = hit {
             if h == p {
                 continue;
             }
-            if best.map_or(true, |b0| h.l1(p) < b0.l1(p)) {
+            if best.is_none_or(|b0| h.l1(p) < b0.l1(p)) {
                 best = Some(h);
             }
         }

@@ -47,12 +47,7 @@ impl Chain {
                 if last == p {
                     continue;
                 }
-                assert!(
-                    last.x == p.x || last.y == p.y,
-                    "chain segments must be axis-parallel: {:?} -> {:?}",
-                    last,
-                    p
-                );
+                assert!(last.x == p.x || last.y == p.y, "chain segments must be axis-parallel: {:?} -> {:?}", last, p);
                 // merge collinear runs
                 if out.len() >= 2 {
                     let prev = out[out.len() - 2];
@@ -179,8 +174,7 @@ impl Chain {
 
     /// Is `p` on the chain?
     pub fn contains_point(&self, p: Point) -> bool {
-        self.pts.len() == 1 && self.pts[0] == p
-            || self.segments().any(|(a, b)| on_segment(a, b, p))
+        self.pts.len() == 1 && self.pts[0] == p || self.segments().any(|(a, b)| on_segment(a, b, p))
     }
 
     /// Arc-length position of a point that lies on the chain (distance along
@@ -245,7 +239,11 @@ impl Chain {
                 (self.last(), self.pts[self.pts.len() - 2])
             };
             let _ = other;
-            return if p.y > end.y { Side::Above } else if p.y < end.y { Side::Below } else {
+            return if p.y > end.y {
+                Side::Above
+            } else if p.y < end.y {
+                Side::Below
+            } else {
                 // same y, beyond in x: for increasing chains the region above
                 // is up-left, so a point left of the left end is Above iff
                 // the chain increases; mirrored for the right end.

@@ -49,7 +49,7 @@ pub fn shoot_naive(obstacles: &ObstacleSet, p: Point, dir: Dir, skip: Option<Rec
         };
         if let Some(point) = candidate {
             let d = point.l1(p);
-            if best.map_or(true, |b| d < b.distance_from(p)) {
+            if best.is_none_or(|b| d < b.distance_from(p)) {
                 best = Some(Hit { rect: id, point });
             }
         }
@@ -297,8 +297,8 @@ mod tests {
                 .map(|_| {
                     let x = rng.gen_range(-50..50);
                     let y = rng.gen_range(-50..50);
-                    let w = rng.gen_range(1..8);
-                    let h = rng.gen_range(1..8);
+                    let w = rng.gen_range(1i64..8);
+                    let h = rng.gen_range(1i64..8);
                     Rect::new(x, y, x + w, y + h)
                 })
                 .collect();

@@ -130,9 +130,9 @@ mod tests {
     fn obstacles() -> ObstacleSet {
         // two towers with a gap, plus a roof over the gap
         ObstacleSet::new(vec![
-            Rect::new(0, 0, 2, 6),   // 0: left tower
-            Rect::new(6, 0, 8, 6),   // 1: right tower
-            Rect::new(1, 8, 7, 10),  // 2: roof
+            Rect::new(0, 0, 2, 6),  // 0: left tower
+            Rect::new(6, 0, 8, 6),  // 1: right tower
+            Rect::new(1, 8, 7, 10), // 2: roof
         ])
     }
 

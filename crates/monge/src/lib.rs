@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # rsp-monge — (min,+) matrices, the Monge property and fast Monge products
 //!
 //! Section 2 of the paper (Lemmas 1–5) builds the "conquer" machinery of the

@@ -47,10 +47,12 @@ impl MinPlusMatrix {
         MinPlusMatrix { rows: r, cols: c, data: rows.into_iter().flatten().collect() }
     }
 
+    /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
     }
 
+    /// Number of columns.
     pub fn cols(&self) -> usize {
         self.cols
     }
@@ -71,6 +73,7 @@ impl MinPlusMatrix {
         self.data[i * self.cols + j]
     }
 
+    /// Entry setter.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: Entry) {
         self.data[i * self.cols + j] = v;
@@ -99,13 +102,17 @@ impl MinPlusMatrix {
     /// Pad to `new_rows x new_cols` with `INF` (Lemma 4's padding trick).
     pub fn pad_to(&self, new_rows: usize, new_cols: usize) -> MinPlusMatrix {
         assert!(new_rows >= self.rows && new_cols >= self.cols);
-        MinPlusMatrix::from_fn(new_rows, new_cols, |i, j| {
-            if i < self.rows && j < self.cols {
-                self.get(i, j)
-            } else {
-                INF
-            }
-        })
+        MinPlusMatrix::from_fn(
+            new_rows,
+            new_cols,
+            |i, j| {
+                if i < self.rows && j < self.cols {
+                    self.get(i, j)
+                } else {
+                    INF
+                }
+            },
+        )
     }
 
     /// Are all entries finite (smaller than `INF`)?

@@ -59,8 +59,8 @@ pub fn min_plus_monge(a: &MinPlusMatrix, b: &MinPlusMatrix) -> MinPlusMatrix {
     for j in 0..b.cols() {
         let eval = |i: usize, k: usize| sat_add(a.get(i, k), b.get(k, j));
         let minima = smawk_row_minima(a.rows(), a.cols(), &eval);
-        for i in 0..a.rows() {
-            c.set(i, j, eval(i, minima[i]));
+        for (i, &k) in minima.iter().enumerate() {
+            c.set(i, j, eval(i, k));
         }
     }
     c

@@ -49,7 +49,7 @@ fn smawk_rec(rows: &[usize], cols: &[usize], eval: &impl Fn(usize, usize) -> Ent
     // neighbouring even rows.
     let col_pos: Vec<usize> = cols.to_vec();
     let mut start_idx = 0usize;
-    for (odd_i, &r) in rows.iter().enumerate().filter(|(i, _)| i % 2 == 1).map(|(i, r)| (i, r)) {
+    for (odd_i, &r) in rows.iter().enumerate().filter(|(i, _)| i % 2 == 1) {
         // column of the previous even row's minimum
         let lo_col = result[rows[odd_i - 1]];
         let hi_col = if odd_i + 1 < rows.len() { result[rows[odd_i + 1]] } else { *col_pos.last().unwrap() };
@@ -154,13 +154,7 @@ mod tests {
             let fast = smawk_row_minima(rows, cols, &eval);
             let brute = brute_force_row_minima(rows, cols, &eval);
             for i in 0..rows {
-                assert_eq!(
-                    eval(i, fast[i]),
-                    eval(i, brute[i]),
-                    "row {i} minima differ: {} vs {}",
-                    fast[i],
-                    brute[i]
-                );
+                assert_eq!(eval(i, fast[i]), eval(i, brute[i]), "row {i} minima differ: {} vs {}", fast[i], brute[i]);
             }
         }
     }

@@ -109,7 +109,8 @@ mod tests {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(5);
         let n = 500;
-        let parent: Vec<Option<usize>> = (0..n).map(|v| if v == 0 { None } else { Some(rng.gen_range(0..v)) }).collect();
+        let parent: Vec<Option<usize>> =
+            (0..n).map(|v| if v == 0 { None } else { Some(rng.gen_range(0..v)) }).collect();
         let f = Forest::new(parent);
         let la = LevelAncestor::build(&f);
         for _ in 0..500 {

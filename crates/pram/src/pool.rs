@@ -9,10 +9,8 @@
 /// Run `f` on a dedicated rayon pool with exactly `threads` workers and
 /// return its result.
 pub fn run_on_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads.max(1))
-        .build()
-        .expect("failed to build thread pool");
+    let pool =
+        rayon::ThreadPoolBuilder::new().num_threads(threads.max(1)).build().expect("failed to build thread pool");
     pool.install(f)
 }
 
@@ -23,7 +21,7 @@ pub fn scaling_curve<T: Send>(sizes: &[usize], mut f: impl FnMut() -> T + Send) 
         .iter()
         .map(|&p| {
             let start = std::time::Instant::now();
-            let _ = run_on_pool(p, || f());
+            let _ = run_on_pool(p, &mut f);
             (p, start.elapsed().as_secs_f64())
         })
         .collect()
@@ -36,9 +34,9 @@ mod tests {
 
     #[test]
     fn pool_limits_thread_count() {
-        let observed = run_on_pool(2, || rayon::current_num_threads());
+        let observed = run_on_pool(2, rayon::current_num_threads);
         assert_eq!(observed, 2);
-        let observed = run_on_pool(1, || rayon::current_num_threads());
+        let observed = run_on_pool(1, rayon::current_num_threads);
         assert_eq!(observed, 1);
     }
 

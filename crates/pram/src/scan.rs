@@ -21,10 +21,8 @@ where
     let block = (n / (threads * 4)).max(1024).min(n);
     let blocks: Vec<&[T]> = input.chunks(block).collect();
     // Pass 1: reduce each block.
-    let sums: Vec<T> = blocks
-        .par_iter()
-        .map(|chunk| chunk.iter().fold(identity.clone(), |acc, x| op(&acc, x)))
-        .collect();
+    let sums: Vec<T> =
+        blocks.par_iter().map(|chunk| chunk.iter().fold(identity.clone(), |acc, x| op(&acc, x))).collect();
     // Scan the block sums sequentially (few of them).
     let mut offsets = Vec::with_capacity(sums.len());
     let mut acc = identity.clone();

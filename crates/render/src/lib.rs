@@ -103,9 +103,8 @@ impl Scene {
         let rows = ((b.ymax - b.ymin) / scale + 1) as usize;
         let _ = h;
         let mut grid = vec![vec![' '; cols]; rows];
-        let to_cell = |p: Point| -> (usize, usize) {
-            (((p.x - b.xmin) / scale) as usize, ((p.y - b.ymin) / scale) as usize)
-        };
+        let to_cell =
+            |p: Point| -> (usize, usize) { (((p.x - b.xmin) / scale) as usize, ((p.y - b.ymin) / scale) as usize) };
         // region outlines first (lowest layer)
         for region in &self.regions {
             for (a, c) in region.edges() {
@@ -192,12 +191,12 @@ fn draw_segment(grid: &mut [Vec<char>], a: (usize, usize), b: (usize, usize), gl
     let (ac, ar) = a;
     let (bc, br) = b;
     if ac == bc {
-        for r in ar.min(br)..=ar.max(br) {
-            grid[r][ac] = glyph;
+        for row in grid.iter_mut().take(ar.max(br) + 1).skip(ar.min(br)) {
+            row[ac] = glyph;
         }
     } else {
-        for c in ac.min(bc)..=ac.max(bc) {
-            grid[ar][c] = glyph;
+        for cell in grid[ar].iter_mut().take(ac.max(bc) + 1).skip(ac.min(bc)) {
+            *cell = glyph;
         }
     }
 }

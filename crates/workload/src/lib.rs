@@ -48,8 +48,8 @@ pub fn uniform_disjoint(n: usize, seed: u64) -> Workload {
         .iter()
         .take(n)
         .map(|&(ci, cj)| {
-            let x0 = ci * cell + rng.gen_range(1..8);
-            let y0 = cj * cell + rng.gen_range(1..8);
+            let x0 = ci * cell + rng.gen_range(1i64..8);
+            let y0 = cj * cell + rng.gen_range(1i64..8);
             let w = rng.gen_range(3..=cell - 10);
             let h = rng.gen_range(3..=cell - 10);
             Rect::new(x0, y0, x0 + w, y0 + h)
@@ -78,8 +78,8 @@ pub fn clustered(n: usize, clusters: usize, seed: u64) -> Workload {
             if rects.len() == n {
                 break 'outer;
             }
-            let x0 = ox + ci * cell + rng.gen_range(1..5);
-            let y0 = oy + cj * cell + rng.gen_range(1..5);
+            let x0 = ox + ci * cell + rng.gen_range(1i64..5);
+            let y0 = oy + cj * cell + rng.gen_range(1i64..5);
             rects.push(Rect::new(x0, y0, x0 + rng.gen_range(2..=cell - 8), y0 + rng.gen_range(2..=cell - 8)));
         }
     }
@@ -97,7 +97,7 @@ pub fn corridors(walls: usize, width: i64, seed: u64) -> Workload {
     for i in 0..walls {
         let y0 = (i as i64) * 10 + 5;
         let gap_at = rng.gen_range(1..width - 6);
-        let gap_w = rng.gen_range(2..5);
+        let gap_w = rng.gen_range(2i64..5);
         if gap_at > 0 {
             rects.push(Rect::new(0, y0, gap_at, y0 + 4));
         }
@@ -125,9 +125,9 @@ pub fn aspect_stress(n: usize, seed: u64) -> Workload {
             let x0 = ci * cell + 2;
             let y0 = cj * cell + 2;
             if rng.gen_bool(0.5) {
-                Rect::new(x0, y0, x0 + cell - 6, y0 + rng.gen_range(1..4))
+                Rect::new(x0, y0, x0 + cell - 6, y0 + rng.gen_range(1i64..4))
             } else {
-                Rect::new(x0, y0, x0 + rng.gen_range(1..4), y0 + cell - 6)
+                Rect::new(x0, y0, x0 + rng.gen_range(1i64..4), y0 + cell - 6)
             }
         })
         .collect();

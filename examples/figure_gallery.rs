@@ -108,12 +108,7 @@ fn main() {
     println!("Figures 9–13 — the recursion tree of Section 6.1 (sizes, separators, depths):");
     let tree = RecursionTree::build(&bigger);
     println!("{}", tree.summary());
-    println!(
-        "  {} nodes, height {}, worst balance {:.2}",
-        tree.len(),
-        tree.height(),
-        tree.worst_balance()
-    );
+    println!("  {} nodes, height {}, worst balance {:.2}", tree.len(), tree.height(), tree.worst_balance());
 
     // ---- Figure 14: the chunk partition for |P| >> n -----------------------
     println!("Figure 14 — partition of Bound(P) into chunks for |P| >> n:");

@@ -1,4 +1,54 @@
-//! Facade crate re-exporting the public API of the workspace.
+//! # rectilinear-shortest-paths
+//!
+//! Facade crate re-exporting the public API of the workspace: a reproduction
+//! of Atallah & Chen, *"Parallel rectilinear shortest paths with rectangular
+//! obstacles"* (SPAA 1990 / Computational Geometry: Theory and Applications
+//! 1, 1991).  See README.md for the crate map and DESIGN.md for the mapping
+//! from paper sections to modules.
+//!
+//! ## Quickstart
+//!
+//! The flow below mirrors `examples/quickstart.rs`: build the length oracle
+//! (Section 6), ask for an actual path (Section 8), then construct the
+//! boundary-to-boundary matrix `D_Q` (Section 5).
+//!
+//! ```
+//! use rectilinear_shortest_paths::core::dnc::{build_boundary_matrix_bbox, DncOptions};
+//! use rectilinear_shortest_paths::core::query::PathLengthOracle;
+//! use rectilinear_shortest_paths::core::sptree::ShortestPathTrees;
+//! use rectilinear_shortest_paths::geom::{ObstacleSet, Point, Rect};
+//!
+//! // A rectilinear "floor plan": disjoint axis-parallel rectangular obstacles.
+//! let obstacles = ObstacleSet::new(vec![
+//!     Rect::new(2, 2, 6, 10),
+//!     Rect::new(9, 0, 12, 6),
+//!     Rect::new(8, 9, 15, 12),
+//! ]);
+//! obstacles.validate_disjoint().expect("obstacles must be disjoint");
+//!
+//! // 1. Length queries: O(1) between obstacle vertices, O(log n) between
+//! //    arbitrary points.
+//! let oracle = PathLengthOracle::build(&obstacles);
+//! let a = Point::new(0, 0);
+//! let b = Point::new(16, 13);
+//! assert!(oracle.distance(a, b) >= a.l1(b));
+//!
+//! let v1 = Point::new(6, 10); // an obstacle vertex
+//! let v2 = Point::new(9, 0);  // another obstacle vertex
+//! let d = oracle.vertex_distance(v1, v2).expect("both are vertices");
+//!
+//! // 2. Actual paths: shortest-path trees + path reporting.
+//! let trees = ShortestPathTrees::from_oracle(PathLengthOracle::build(&obstacles), Some(&[v1]));
+//! let path = trees.path_between(v1, v2).expect("both endpoints are vertices");
+//! assert!(path.avoids(&obstacles));
+//! assert_eq!(path.length(), d);
+//!
+//! // 3. The boundary-to-boundary matrix D_Q, built by the parallel
+//! //    divide-and-conquer with staircase separators and Monge products.
+//! let bm = build_boundary_matrix_bbox(&obstacles, 2, &DncOptions::default());
+//! assert_eq!(bm.dist.rows(), bm.points.len());
+//! ```
+
 pub use rsp_core as core;
 pub use rsp_geom as geom;
 pub use rsp_monge as monge;

@@ -43,16 +43,9 @@ fn boundary_matrix_matches_truth_on_varied_workloads() {
     for w in workloads {
         let bm = build_boundary_matrix_bbox(&w.obstacles, 3, &DncOptions::default());
         let truth = ground_truth_matrix(&w.obstacles, &bm.points);
-        for i in 0..bm.points.len() {
-            for j in 0..bm.points.len() {
-                assert_eq!(
-                    bm.dist.get(i, j),
-                    truth[i][j],
-                    "{}: {:?} -> {:?}",
-                    w.name,
-                    bm.points[i],
-                    bm.points[j]
-                );
+        for (i, row) in truth.iter().enumerate() {
+            for (j, &expected) in row.iter().enumerate() {
+                assert_eq!(bm.dist.get(i, j), expected, "{}: {:?} -> {:?}", w.name, bm.points[i], bm.points[j]);
             }
         }
     }

@@ -1,0 +1,170 @@
+//! Vendored minimal stand-in for the `criterion` crate (offline build).
+//!
+//! Provides the API surface the E1–E9 benches use — [`Criterion`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`] and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple measurement loop: warm up once,
+//! pick an iteration count that fills a small time budget, then report the
+//! mean wall-clock time per iteration on stdout.
+//!
+//! The per-benchmark time budget defaults to 300 ms and can be overridden
+//! with the `CRITERION_BUDGET_MS` environment variable (e.g. `=50` for smoke
+//! runs), since this stub has no command-line parsing or statistics engine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_BUDGET_MS").ok().and_then(|s| s.parse::<u64>().ok()).unwrap_or(300);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Benchmark driver handed to the `criterion_group!` functions.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("## {name}");
+        BenchmarkGroup { name, sample_size: self.default_sample_size, _criterion: self }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        run_one(&format!("{id}"), self.default_sample_size, |b| f(b));
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples (kept for API compatibility; this stub uses
+    /// it as an upper bound on measured iterations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.label), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    /// Build an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{parameter}") }
+    }
+}
+
+/// Timing loop handle passed to the benchmark closure.
+pub struct Bencher {
+    iters_cap: usize,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f`: one warm-up call, then enough iterations to fill the time
+    /// budget (capped by the sample size), reporting the mean per-iteration
+    /// wall-clock time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        black_box(f());
+        let once = warm_start.elapsed().max(Duration::from_nanos(1));
+        let budget = budget();
+        let iters = ((budget.as_nanos() / once.as_nanos()).clamp(1, self.iters_cap as u128)) as usize;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.mean = Some(start.elapsed() / iters as u32);
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher { iters_cap: sample_size.max(1), mean: None };
+    f(&mut bencher);
+    match bencher.mean {
+        Some(mean) => println!("{label:<50} time: {mean:>12.3?}"),
+        None => println!("{label:<50} (no measurement: closure never called Bencher::iter)"),
+    }
+}
+
+/// Define a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` for a benchmark binary (built with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags such as `--bench`; this stub ignores them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_with_input_measures() {
+        std::env::set_var("CRITERION_BUDGET_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3usize, |b, &n| {
+            ran = true;
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

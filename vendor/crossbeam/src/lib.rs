@@ -1,0 +1,66 @@
+//! Vendored minimal stand-in for the `crossbeam` crate (offline build).
+//!
+//! Only `crossbeam::atomic::AtomicCell` is used by this workspace (the
+//! work/depth counters in `rsp-pram`).  This implementation trades the real
+//! crate's lock-free fast paths for a plain mutex, which is semantically
+//! equivalent and more than fast enough for counters.
+
+/// Atomic cells.
+pub mod atomic {
+    use std::sync::Mutex;
+
+    /// A thread-safe cell holding a `Copy` value.
+    #[derive(Debug, Default)]
+    pub struct AtomicCell<T> {
+        inner: Mutex<T>,
+    }
+
+    impl<T: Copy> AtomicCell<T> {
+        /// Create a cell holding `value`.
+        pub fn new(value: T) -> Self {
+            AtomicCell { inner: Mutex::new(value) }
+        }
+
+        /// Read the current value.
+        pub fn load(&self) -> T {
+            *self.inner.lock().unwrap()
+        }
+
+        /// Overwrite the current value.
+        pub fn store(&self, value: T) {
+            *self.inner.lock().unwrap() = value;
+        }
+
+        /// Replace the value with `new` if it currently equals `current`;
+        /// returns `Ok(previous)` on success and `Err(previous)` otherwise.
+        pub fn compare_exchange(&self, current: T, new: T) -> Result<T, T>
+        where
+            T: PartialEq,
+        {
+            let mut guard = self.inner.lock().unwrap();
+            let prev = *guard;
+            if prev == current {
+                *guard = new;
+                Ok(prev)
+            } else {
+                Err(prev)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::atomic::AtomicCell;
+
+    #[test]
+    fn load_store_cas() {
+        let c = AtomicCell::new(5u64);
+        assert_eq!(c.load(), 5);
+        c.store(9);
+        assert_eq!(c.load(), 9);
+        assert_eq!(c.compare_exchange(9, 11), Ok(9));
+        assert_eq!(c.compare_exchange(9, 13), Err(11));
+        assert_eq!(c.load(), 11);
+    }
+}

@@ -1,0 +1,318 @@
+//! Vendored minimal stand-in for the `rayon` crate (offline build).
+//!
+//! The build environment cannot fetch crates.io, so this crate provides the
+//! slice of rayon's API the workspace uses, with rayon's *semantics* (the
+//! observable results are identical to a sequential execution) but not its
+//! scheduler:
+//!
+//! * parallel iterators (`par_iter`, `into_par_iter`, `par_chunks_mut`, ...)
+//!   are thin wrappers over the corresponding sequential iterators — every
+//!   adapter (`map`, `zip`, `sum`, `collect`, ...) is inherited from
+//!   [`Iterator`];
+//! * [`join`] runs its two closures on real OS threads (bounded by a global
+//!   cap), so divide-and-conquer code does execute in parallel;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] record the requested
+//!   worker count so [`current_num_threads`] reports it, which is what the
+//!   E9 scaling harness observes.
+//!
+//! Replacing this shim with the real rayon (once dependencies can be
+//! vendored) is tracked in ROADMAP.md; no caller-visible API changes will be
+//! needed.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    static CURRENT_POOL_SIZE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+static ACTIVE_JOIN_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Number of worker threads of the current pool (the installed pool size, or
+/// the hardware parallelism outside any [`ThreadPool::install`]).
+pub fn current_num_threads() -> usize {
+    CURRENT_POOL_SIZE.with(|c| c.get()).unwrap_or_else(hardware_threads)
+}
+
+/// Decrements [`ACTIVE_JOIN_THREADS`] on drop, so a panic unwinding out of
+/// [`join`] cannot leak the reservation and serialise later joins.
+struct JoinSlot;
+
+impl Drop for JoinSlot {
+    fn drop(&mut self) {
+        ACTIVE_JOIN_THREADS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Run `a` and `b`, potentially in parallel, and return both results.
+///
+/// `b` runs on a freshly spawned scoped thread unless the current pool
+/// (the installed [`ThreadPool`] size, or the hardware parallelism) is 1 or
+/// the global thread cap is reached; then both run sequentially on the
+/// caller.  The cap scales with the pool size so `run_on_pool(p, ...)`-style
+/// harnesses get a real independent variable.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool_threads = current_num_threads();
+    if pool_threads <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let cap = pool_threads * 2;
+    if ACTIVE_JOIN_THREADS.fetch_add(1, Ordering::Relaxed) >= cap {
+        ACTIVE_JOIN_THREADS.fetch_sub(1, Ordering::Relaxed);
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let _slot = JoinSlot;
+    let pool_size = CURRENT_POOL_SIZE.with(|c| c.get());
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(move || {
+            CURRENT_POOL_SIZE.with(|c| c.set(pool_size));
+            b()
+        });
+        let ra = a();
+        (ra, hb.join().expect("rayon::join: worker panicked"))
+    })
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Request exactly `n` worker threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads.unwrap_or_else(hardware_threads).max(1) })
+    }
+}
+
+/// A pool with a fixed worker count; [`ThreadPool::install`] scopes
+/// [`current_num_threads`] to that count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` "inside" the pool: `current_num_threads()` reports this pool's
+    /// size for the duration of the call (restored even if `f` panics).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0;
+                CURRENT_POOL_SIZE.with(|c| c.set(prev));
+            }
+        }
+        let _restore = Restore(CURRENT_POOL_SIZE.with(|c| c.replace(Some(self.num_threads))));
+        f()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// A "parallel" iterator: a newtype over a sequential iterator.  All of
+/// [`Iterator`]'s adapters and consumers apply.
+pub struct Par<I>(pub I);
+
+impl<I: Iterator> Iterator for Par<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+/// Conversion into a parallel iterator (blanket over [`IntoIterator`], which
+/// covers `Vec<T>`, ranges, `Option`, ...).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Wrap `self` in a [`Par`] iterator.
+    fn into_par_iter(self) -> Par<Self::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {}
+
+/// Parallel read access to slices (and, via deref, `Vec<T>`).
+pub trait ParallelSlice<T> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+    /// Parallel iterator over non-overlapping chunks.
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(chunk_size))
+    }
+}
+
+/// Parallel mutable access to slices.
+pub trait ParallelSliceMut<T> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    /// Stable sort (rayon's `par_sort` is stable).
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    /// Stable sort by key.
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    /// Stable sort by comparator.
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, cmp: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+        Par(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(chunk_size))
+    }
+
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_by_key(key);
+    }
+
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, cmp: F) {
+        self.sort_by(cmp);
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_behave_like_std() {
+        let v = [3, 1, 2];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+        let total: u64 = (0..1000u64).into_par_iter().sum();
+        assert_eq!(total, 499_500);
+        let mut s = vec![5, 4, 1];
+        s.par_sort();
+        assert_eq!(s, vec![1, 4, 5]);
+    }
+
+    #[test]
+    fn join_runs_both_and_returns_results() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn nested_join_beyond_cap_degrades_to_sequential() {
+        fn rec(depth: usize) -> u64 {
+            if depth == 0 {
+                return 1;
+            }
+            let (a, b) = super::join(|| rec(depth - 1), || rec(depth - 1));
+            a + b
+        }
+        assert_eq!(rec(10), 1024);
+    }
+
+    #[test]
+    fn join_in_single_thread_pool_runs_on_caller() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let caller = std::thread::current().id();
+        let (ta, tb) = pool.install(|| super::join(|| std::thread::current().id(), || std::thread::current().id()));
+        assert_eq!(ta, caller);
+        assert_eq!(tb, caller);
+    }
+
+    #[test]
+    fn join_panic_does_not_leak_thread_slots() {
+        use std::sync::atomic::Ordering;
+        let before = super::ACTIVE_JOIN_THREADS.load(Ordering::Relaxed);
+        for _ in 0..64 {
+            let result = std::panic::catch_unwind(|| super::join(|| panic!("boom"), || 1));
+            assert!(result.is_err());
+        }
+        let after = super::ACTIVE_JOIN_THREADS.load(Ordering::Relaxed);
+        // Leaked slots would leave a delta of 64; allow slack for concurrent tests.
+        assert!(after <= before + 2, "leaked join slots: {before} -> {after}");
+    }
+
+    #[test]
+    fn install_scopes_current_num_threads() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let observed = pool.install(super::current_num_threads);
+        assert_eq!(observed, 3);
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_restores_pool_size_after_panic() {
+        let outside = super::current_num_threads();
+        let pool = super::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let result = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(super::current_num_threads(), outside);
+    }
+}

@@ -1,0 +1,248 @@
+//! Vendored minimal stand-in for the `serde` crate (offline build).
+//!
+//! The real serde's visitor architecture is replaced by a simple JSON-like
+//! value tree: [`Serialize`] renders a type into a [`Value`], [`Deserialize`]
+//! rebuilds it from one, and the companion `serde_json` stub converts
+//! [`Value`] to and from JSON text.  The derive macros (re-exported from the
+//! vendored `serde_derive`) support structs with named fields and enums with
+//! unit variants, which is every type this workspace serialises.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree — the intermediate representation between typed
+/// data and serialised text.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An integer (wide enough for both `i64` and `u64`).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object: ordered key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a field of an object value.
+    pub fn get_field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error(format!("missing field `{name}`"))),
+            other => Err(Error(format!("expected object with field `{name}`, got {other:?}"))),
+        }
+    }
+
+    /// Interpret as an integer.
+    pub fn as_int(&self) -> Result<i128, Error> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(Error(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    /// Interpret as a string.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+/// Serialisation / deserialisation error.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Debug for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Convert to the intermediate value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from the intermediate value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_int()?;
+                <$t>::try_from(i).map_err(|_| Error(format!("integer {i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(Error(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_owned)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Arr(items) => {
+                        let expected = [$(stringify!($idx)),+].len();
+                        if items.len() != expected {
+                            return Err(Error(format!("expected {expected}-tuple, got {} items", items.len())));
+                        }
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error(format!("expected array (tuple), got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(i64::from_value(&42i64.to_value()).unwrap(), 42);
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+        assert_eq!(Vec::<i64>::from_value(&vec![1i64, 2, 3].to_value()).unwrap(), vec![1, 2, 3]);
+        assert_eq!(Option::<bool>::from_value(&Some(true).to_value()).unwrap(), Some(true));
+        assert_eq!(Option::<bool>::from_value(&None::<bool>.to_value()).unwrap(), None);
+        assert_eq!(<(i64, u64)>::from_value(&(3i64, 9u64).to_value()).unwrap(), (3, 9));
+    }
+
+    #[test]
+    fn out_of_range_int_errors() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Vendored minimal `serde_derive` (offline build).
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the two
+//! shapes this workspace actually serialises — structs with named fields and
+//! enums with unit variants — by hand-parsing the item's token stream (no
+//! `syn`/`quote` available offline) and emitting the impl as source text.
+//! Anything fancier (generics, tuple structs, data-carrying variants,
+//! `#[serde(...)]` attributes) is rejected with a compile error so a future
+//! use is caught loudly rather than miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we managed to parse out of the item the derive is attached to.
+enum Item {
+    /// `struct Name { field, ... }`
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { Variant, ... }` (unit variants only)
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("derive does not support generics on `{name}`"));
+        }
+    }
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => return Err(format!("derive supports only braced {kind} bodies on `{name}` (got {other:?})")),
+    };
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct { name, fields: parse_named_fields(body)? }),
+        "enum" => Ok(Item::Enum { name, variants: parse_unit_variants(body)? }),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{field}`, got {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                iter.next();
+            } else {
+                break;
+            }
+        }
+        let variant = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        match iter.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(TokenTree::Group(_)) => {
+                return Err(format!("derive supports only unit enum variants (variant `{variant}` carries data)"))
+            }
+            other => return Err(format!("unexpected token after variant `{variant}`: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Obj(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                pairs.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> =
+                fields.iter().map(|f| format!("{f}: ::serde::Deserialize::from_value(v.get_field({f:?})?)?")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> =
+                variants.iter().map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v.as_str()? {{\n\
+                             {},\n\
+                             other => ::std::result::Result::Err(::serde::Error(\n\
+                                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    code.parse().unwrap()
+}

@@ -1,0 +1,293 @@
+//! Vendored minimal stand-in for `serde_json` (offline build).
+//!
+//! Serialises the vendored serde stub's [`serde::Value`] tree to JSON text
+//! and parses it back.  Supports the JSON subset those values produce:
+//! objects, arrays, strings (with `\uXXXX` escapes), integers, floats,
+//! booleans and `null`.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialise `value` to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Parse a JSON string into a `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!("trailing characters at offset {}", parser.pos)));
+    }
+    T::from_value(&value)
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                out.push_str(&format!("{x:?}"))
+            } else {
+                out.push_str("null")
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| Error("unexpected end of JSON".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!("expected `{}` at offset {}", b as char, self.pos)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek()? {
+            b'n' => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error(format!("invalid literal at offset {}", self.pos)))
+                }
+            }
+            b't' => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error(format!("invalid literal at offset {}", self.pos)))
+                }
+            }
+            b'f' => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error(format!("invalid literal at offset {}", self.pos)))
+                }
+            }
+            b'"' => self.parse_string().map(Value::Str),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        c => return Err(Error(format!("expected `,` or `]`, got `{}`", c as char))),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    fields.push((key, self.parse_value()?));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        c => return Err(Error(format!("expected `,` or `}}`, got `{}`", c as char))),
+                    }
+                }
+            }
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos).ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            out.push(char::from_u32(code).ok_or_else(|| Error("bad \\u code point".into()))?);
+                        }
+                        c => return Err(Error(format!("unknown escape `\\{}`", c as char))),
+                    }
+                }
+                b => {
+                    // Collect the full UTF-8 sequence starting at `b`.
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    self.pos = start + len;
+                    let chunk = self.bytes.get(start..self.pos).ok_or_else(|| Error("truncated UTF-8".into()))?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|_| Error("invalid UTF-8".into()))?);
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if text.is_empty() {
+            return Err(Error(format!("expected number at offset {start}")));
+        }
+        if text.bytes().all(|b| b.is_ascii_digit() || b == b'-') {
+            text.parse::<i128>().map(Value::Int).map_err(|_| Error(format!("bad integer `{text}`")))
+        } else {
+            text.parse::<f64>().map(Value::Float).map_err(|_| Error(format!("bad number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_value_shapes() {
+        let v = Value::Obj(vec![
+            ("name".into(), Value::Str("hello \"world\"\n".into())),
+            ("n".into(), Value::Int(-42)),
+            ("big".into(), Value::Int(u64::MAX as i128)),
+            ("xs".into(), Value::Arr(vec![Value::Bool(true), Value::Null, Value::Float(1.5)])),
+        ]);
+        let mut text = String::new();
+        write_value(&v, &mut text);
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        assert_eq!(p.parse_value().unwrap(), v);
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let xs = vec![(1i64, 2u64), (3, 4)];
+        let json = to_string(&xs).unwrap();
+        let back: Vec<(i64, u64)> = from_str(&json).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<i64>("12 34").is_err());
+        assert!(from_str::<i64>("[").is_err());
+    }
+}
