@@ -1,0 +1,50 @@
+//! E10 — the `Router` serving path: batch query throughput.
+//!
+//! The session API exists so that heavy query traffic can be served from one
+//! set of shared substructures.  This bench measures batch `distances`
+//! throughput (512-query batches; divide the reported per-iteration time by
+//! 512 for per-query latency / queries-per-second) as `n` grows, for three
+//! serving modes:
+//!
+//! * `batch_vertex_pairs` — every pair hits the O(1) matrix fast path;
+//! * `batch_mixed` — half vertex pairs, half arbitrary points (the fast-path
+//!   routing inside one batch);
+//! * `per_call_vertex_pairs` — the same vertex pairs served by individual
+//!   `distance` calls, to expose the batch layer's overhead/benefit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsp_core::router::Router;
+use rsp_geom::Point;
+use rsp_workload::{query_pairs, uniform_disjoint};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_router_throughput");
+    for &n in &[32usize, 64, 128, 256] {
+        let w = uniform_disjoint(n, 5);
+        let router = Router::new(w.obstacles.clone()).expect("workload scenes are valid");
+        let _ = router.oracle(); // pay the one-time build outside the timer
+        let vertex_batch = query_pairs(&w.obstacles, 512, true, 1);
+        let mut mixed_batch: Vec<(Point, Point)> = query_pairs(&w.obstacles, 256, true, 2);
+        mixed_batch.extend(query_pairs(&w.obstacles, 256, false, 3));
+
+        group.bench_with_input(BenchmarkId::new("batch_vertex_pairs", n), &n, |b, _| {
+            b.iter(|| router.distances(&vertex_batch).unwrap().iter().sum::<i64>())
+        });
+        group.bench_with_input(BenchmarkId::new("batch_mixed", n), &n, |b, _| {
+            b.iter(|| router.distances(&mixed_batch).unwrap().iter().sum::<i64>())
+        });
+        group.bench_with_input(BenchmarkId::new("per_call_vertex_pairs", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &(p, q) in &vertex_batch {
+                    acc += router.distance(p, q).unwrap();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

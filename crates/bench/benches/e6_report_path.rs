@@ -8,6 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rsp_core::query::PathLengthOracle;
 use rsp_core::sptree::ShortestPathTrees;
 use rsp_workload::corridors;
+use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_report_path");
@@ -17,7 +18,7 @@ fn bench(c: &mut Criterion) {
         let verts = w.obstacles.vertices();
         let source = verts[0];
         let target = *verts.last().unwrap();
-        let trees = ShortestPathTrees::from_oracle(PathLengthOracle::build(&w.obstacles), Some(&[source]));
+        let trees = ShortestPathTrees::from_oracle(Arc::new(PathLengthOracle::build(&w.obstacles)), Some(&[source]));
         let k = trees.path_between(source, target).unwrap().num_segments();
         group.bench_with_input(BenchmarkId::new(format!("full_path_k{k}"), walls), &walls, |b, _| {
             b.iter(|| trees.path_between(source, target).unwrap().num_segments())

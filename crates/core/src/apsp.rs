@@ -42,6 +42,19 @@ impl VertexApsp {
         Self::from_rows(vertices, rows)
     }
 
+    /// Wrap an externally computed `V_R`-to-`V_R` matrix (rows/columns in
+    /// `vertices` order).  Used by comparator engines (e.g. the Hanan-grid
+    /// baseline of the `Router`) to serve queries through the same oracle.
+    pub fn from_matrix(vertices: Vec<Point>, matrix: MinPlusMatrix) -> Self {
+        assert_eq!(matrix.rows(), vertices.len(), "matrix rows must match the vertex count");
+        assert_eq!(matrix.cols(), vertices.len(), "matrix cols must match the vertex count");
+        let mut index_of = HashMap::with_capacity(vertices.len());
+        for (i, &p) in vertices.iter().enumerate() {
+            index_of.entry(p).or_insert(i);
+        }
+        VertexApsp { vertices, index_of, matrix }
+    }
+
     fn from_rows(vertices: Vec<Point>, rows: Vec<Vec<Dist>>) -> Self {
         let mut index_of = HashMap::with_capacity(vertices.len());
         for (i, &p) in vertices.iter().enumerate() {

@@ -1,7 +1,7 @@
 //! Problem instances: a rectilinearly convex container `P` holding `n`
 //! pairwise-disjoint rectangular obstacles (Section 2 of the paper).
 
-use rsp_geom::{ObstacleSet, Point, Rect, StairRegion};
+use rsp_geom::{DisjointnessViolation, ObstacleSet, Point, Rect, StairRegion};
 use serde::{Deserialize, Serialize};
 
 /// A problem instance.  The container is stored as a [`StairRegion`]; in the
@@ -16,12 +16,33 @@ pub struct Instance {
 /// Problems detected by [`Instance::validate`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum InstanceError {
-    /// Two obstacles overlap (their interiors intersect).
-    OverlappingObstacles(usize, usize),
+    /// Two obstacles overlap (their interiors intersect); carries the
+    /// offending pair of ids and rectangles.
+    OverlappingObstacles(DisjointnessViolation),
     /// An obstacle is not contained in the container.
     ObstacleOutsideContainer(usize),
     /// The container is not rectilinearly convex.
     ContainerNotConvex,
+}
+
+impl std::fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceError::OverlappingObstacles(v) => write!(f, "{v}"),
+            InstanceError::ObstacleOutsideContainer(i) => {
+                write!(f, "obstacle {i} is not contained in the container")
+            }
+            InstanceError::ContainerNotConvex => write!(f, "the container is not rectilinearly convex"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+impl From<DisjointnessViolation> for InstanceError {
+    fn from(v: DisjointnessViolation) -> Self {
+        InstanceError::OverlappingObstacles(v)
+    }
 }
 
 impl Instance {
@@ -61,9 +82,7 @@ impl Instance {
     /// Full validation of the paper's input assumptions (except general
     /// position, which the algorithms do not strictly require).
     pub fn validate(&self) -> Result<(), InstanceError> {
-        if let Err((i, j)) = self.obstacles.validate_disjoint() {
-            return Err(InstanceError::OverlappingObstacles(i, j));
-        }
+        self.obstacles.validate_disjoint()?;
         if !self.container.is_rectilinearly_convex() {
             return Err(InstanceError::ContainerNotConvex);
         }
@@ -94,7 +113,14 @@ mod tests {
     fn validation_catches_overlap() {
         let obs = ObstacleSet::new(vec![Rect::new(0, 0, 4, 4), Rect::new(2, 2, 6, 6)]);
         let inst = Instance::with_margin(obs, 2);
-        assert_eq!(inst.validate(), Err(InstanceError::OverlappingObstacles(0, 1)));
+        match inst.validate() {
+            Err(InstanceError::OverlappingObstacles(v)) => {
+                assert_eq!((v.first, v.second), (0, 1));
+                assert_eq!(v.first_rect, Rect::new(0, 0, 4, 4));
+                assert!(v.to_string().contains("obstacles 0 and 1"));
+            }
+            other => panic!("expected overlap error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -27,13 +27,20 @@
 //!   Dijkstra (the de Rezende–Lee–Wu-style single-source algorithm [11]) and
 //!   the repeated-SSSP all-pairs baseline.
 //! * [`tree`] — the recursion tree of Section 6.1 (inspection / rendering).
+//! * [`router`] — the session-style entry point tying everything together:
+//!   lazy shared substructures, typed errors, batch query serving.  This is
+//!   the API the facade crate, the examples and the README teach; the other
+//!   modules are the expert layer underneath it.
+//! * [`error`] — [`RspError`], the unified error type of the router layer.
 
 pub mod apsp;
 pub mod baseline;
 pub mod bigp;
 pub mod dnc;
+pub mod error;
 pub mod instance;
 pub mod query;
+pub mod router;
 pub mod separator;
 pub mod seq;
 pub mod sptree;
@@ -42,7 +49,9 @@ pub mod tree;
 
 pub use apsp::VertexApsp;
 pub use dnc::{build_boundary_matrix, BoundaryMatrix, DncOptions};
+pub use error::RspError;
 pub use instance::Instance;
 pub use query::PathLengthOracle;
+pub use router::{BuildCounts, Engine, Router, RouterBuilder};
 pub use separator::{find_separator, Separator};
 pub use sptree::ShortestPathTrees;

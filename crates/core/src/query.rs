@@ -186,6 +186,13 @@ impl PathLengthOracle {
         if self.obstacles.containing_obstacle(p).is_some() || self.obstacles.containing_obstacle(q).is_some() {
             return INF;
         }
+        self.distance_clear(p, q)
+    }
+
+    /// [`PathLengthOracle::distance`] without the O(n) containment scan, for
+    /// callers (the `Router`) that have already verified neither endpoint
+    /// lies strictly inside an obstacle.
+    pub(crate) fn distance_clear(&self, p: Point, q: Point) -> Dist {
         if p == q {
             return 0;
         }

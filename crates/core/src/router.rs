@@ -1,0 +1,587 @@
+//! The `Router`: a single session-style entry point over the paper's query
+//! structures.
+//!
+//! The value proposition of Atallah & Chen is *build once, query fast*:
+//! construct the length/path structures of Sections 5–8 and then serve
+//! length queries in `O(1)`/`O(log n)` and path reports in `O(log n + k)`.
+//! Before this module, using the workspace meant reaching into
+//! `core::query`, `core::sptree` and `core::dnc` separately — and because
+//! `ShortestPathTrees::from_oracle` consumed its oracle, the quickstart
+//! built the `O(n^2)`-work [`PathLengthOracle`] **twice** over the same
+//! obstacles.
+//!
+//! [`Router`] owns one validated [`Instance`] and lazily builds each
+//! substructure at most once, behind [`OnceLock`]/[`Arc`]:
+//!
+//! * the [`PathLengthOracle`] (vertex APSP + escape staircases + ray index),
+//!   shared by `distance`, `path` and the batch APIs;
+//! * per-source [`ShortestPathTrees`], grown on demand and `Arc`-sharing
+//!   the same oracle;
+//! * the boundary-to-boundary matrix `D_Q` of Section 5.
+//!
+//! Every fallible entry point returns [`RspError`]; batch queries
+//! ([`Router::distances`], [`Router::paths`]) route vertex pairs to the
+//! `O(1)` matrix lookup and fan the rest out over rayon.
+//!
+//! ```
+//! use rsp_core::router::{Engine, Router};
+//! use rsp_geom::{ObstacleSet, Point, Rect};
+//!
+//! let router = Router::builder(ObstacleSet::new(vec![Rect::new(2, 2, 6, 10)]))
+//!     .engine(Engine::Auto)
+//!     .build()?;
+//! let d = router.distance(Point::new(0, 0), Point::new(8, 12))?;
+//! assert!(d >= 18);
+//! # Ok::<(), rsp_core::error::RspError>(())
+//! ```
+
+use crate::apsp::VertexApsp;
+use crate::baseline::dijkstra_sssp_matrix;
+use crate::dnc::{build_boundary_matrix, BoundaryMatrix, DncOptions};
+use crate::error::RspError;
+use crate::instance::Instance;
+use crate::query::PathLengthOracle;
+use crate::separator::{find_separator_unbounded, Separator};
+use crate::sptree::ShortestPathTrees;
+use crate::trace::{escape_path, EscapeKind};
+use crate::tree::RecursionTree;
+use rayon::prelude::*;
+use rsp_geom::rayshoot::ShootIndex;
+use rsp_geom::{Chain, Coord, Dist, ObstacleSet, Point, RectiPath};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Which construction engine a [`Router`] uses for its substructures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Pick automatically: [`Engine::DivideAndConquer`] unless the session is
+    /// pinned to a single thread, then [`Engine::Sequential`].
+    Auto,
+    /// The Section 9 sequential construction: single-threaded APSP sweep and
+    /// sequential divide-and-conquer schedule.
+    Sequential,
+    /// The paper's parallel schedule: the `4n`-source fan-out for the vertex
+    /// APSP and the `rayon::join` divide-and-conquer for `D_Q`.
+    DivideAndConquer,
+    /// Ground-truth comparator: a Hanan-grid Dijkstra per source.  Slow
+    /// (`O(n^3 log n)` work) but independent of the paper's machinery; used
+    /// to cross-check the other engines.
+    HananBaseline,
+}
+
+/// How many times each lazily built substructure has actually been
+/// constructed, exposed so tests (and profilers) can assert the
+/// build-once guarantee.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BuildCounts {
+    /// Constructions of the [`PathLengthOracle`] (at most 1 per router).
+    pub oracle_builds: usize,
+    /// Individual shortest-path trees built (at most 1 per source vertex).
+    pub tree_builds: usize,
+    /// Constructions of the boundary matrix `D_Q` (at most 1 per router).
+    pub boundary_builds: usize,
+}
+
+#[derive(Default)]
+struct BuildCounters {
+    oracle: AtomicUsize,
+    trees: AtomicUsize,
+    boundary: AtomicUsize,
+}
+
+/// Configures and validates a [`Router`].  Created by [`Router::builder`].
+pub struct RouterBuilder {
+    obstacles: ObstacleSet,
+    engine: Engine,
+    threads: Option<usize>,
+    margin: Coord,
+    dnc: Option<DncOptions>,
+}
+
+impl RouterBuilder {
+    /// Select the construction engine (default [`Engine::Auto`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Pin construction and batch serving to a pool of `p` worker threads
+    /// (default: the global rayon pool).
+    pub fn threads(mut self, p: usize) -> Self {
+        self.threads = Some(p.max(1));
+        self
+    }
+
+    /// Margin by which the instance container extends beyond the obstacle
+    /// bounding box (default 2).  Affects the container boundary that
+    /// [`Router::boundary_matrix`] discretises.
+    pub fn margin(mut self, margin: Coord) -> Self {
+        self.margin = margin.max(1);
+        self
+    }
+
+    /// Override the divide-and-conquer tuning knobs (default: derived from
+    /// the engine — sequential schedule for [`Engine::Sequential`], parallel
+    /// otherwise).
+    pub fn dnc_options(mut self, opts: DncOptions) -> Self {
+        self.dnc = Some(opts);
+        self
+    }
+
+    /// Validate the input and assemble the router.  Fails with
+    /// [`RspError::OverlappingObstacles`] (naming the offending pair) when
+    /// two obstacles overlap; no substructure is built yet — each is
+    /// constructed lazily on first use.
+    pub fn build(self) -> Result<Router, RspError> {
+        let instance = Instance::with_margin(self.obstacles, self.margin);
+        instance.validate()?;
+        let pool = match self.threads {
+            Some(p) => Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(p)
+                    .build()
+                    .map_err(|e| RspError::ThreadPool(e.to_string()))?,
+            ),
+            None => None,
+        };
+        let engine = match self.engine {
+            Engine::Auto => {
+                if self.threads == Some(1) {
+                    Engine::Sequential
+                } else {
+                    Engine::DivideAndConquer
+                }
+            }
+            other => other,
+        };
+        let dnc =
+            self.dnc.unwrap_or(DncOptions { parallel: !matches!(engine, Engine::Sequential), ..DncOptions::default() });
+        Ok(Router {
+            instance,
+            engine,
+            pool,
+            dnc,
+            oracle: OnceLock::new(),
+            trees: OnceLock::new(),
+            boundary: OnceLock::new(),
+            shoot_index: OnceLock::new(),
+            counts: BuildCounters::default(),
+        })
+    }
+}
+
+/// A query-serving session over one obstacle set: the single public entry
+/// point of the workspace (see the module docs).
+pub struct Router {
+    instance: Instance,
+    engine: Engine,
+    pool: Option<rayon::ThreadPool>,
+    dnc: DncOptions,
+    oracle: OnceLock<Arc<PathLengthOracle>>,
+    trees: OnceLock<RwLock<ShortestPathTrees>>,
+    boundary: OnceLock<Arc<BoundaryMatrix>>,
+    /// Standalone ray-shooting index for [`Router::escape`] when the oracle
+    /// has not been built yet (the oracle carries its own copy).
+    shoot_index: OnceLock<ShootIndex>,
+    counts: BuildCounters,
+}
+
+impl Router {
+    /// Start configuring a router for the given obstacles.
+    pub fn builder(obstacles: ObstacleSet) -> RouterBuilder {
+        RouterBuilder { obstacles, engine: Engine::Auto, threads: None, margin: 2, dnc: None }
+    }
+
+    /// Shorthand: a router over `obstacles` with all defaults.
+    pub fn new(obstacles: ObstacleSet) -> Result<Router, RspError> {
+        Self::builder(obstacles).build()
+    }
+
+    /// The validated instance (obstacles + container).
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The obstacle set.
+    pub fn obstacles(&self) -> &ObstacleSet {
+        self.instance.obstacles()
+    }
+
+    /// Number of obstacles `n`.
+    pub fn n(&self) -> usize {
+        self.instance.n()
+    }
+
+    /// The engine this router resolved to ([`Engine::Auto`] is resolved at
+    /// build time and never stored).
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Snapshot of how often each substructure has been constructed so far.
+    /// A router never builds a substructure more than once; tests assert
+    /// this stays at 0/1 per structure no matter how many queries ran.
+    pub fn build_counts(&self) -> BuildCounts {
+        BuildCounts {
+            oracle_builds: self.counts.oracle.load(Ordering::Relaxed),
+            tree_builds: self.counts.trees.load(Ordering::Relaxed),
+            boundary_builds: self.counts.boundary.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Run `f` inside this router's pinned thread pool, if any.
+    fn in_pool<R>(&self, f: impl FnOnce() -> R + Send) -> R
+    where
+        R: Send,
+    {
+        match &self.pool {
+            Some(pool) => pool.install(f),
+            None => f(),
+        }
+    }
+
+    /// The shared length oracle, built on first use (expert escape hatch —
+    /// everything it offers is also reachable through the router methods).
+    pub fn oracle(&self) -> Arc<PathLengthOracle> {
+        Arc::clone(self.oracle_handle())
+    }
+
+    fn oracle_handle(&self) -> &Arc<PathLengthOracle> {
+        self.oracle.get_or_init(|| {
+            self.counts.oracle.fetch_add(1, Ordering::Relaxed);
+            let obstacles = self.instance.obstacles();
+            let oracle = self.in_pool(|| {
+                let apsp = match self.engine {
+                    Engine::Sequential => VertexApsp::build_sequential(obstacles),
+                    Engine::HananBaseline => {
+                        VertexApsp::from_matrix(obstacles.vertices(), dijkstra_sssp_matrix(obstacles))
+                    }
+                    Engine::Auto | Engine::DivideAndConquer => VertexApsp::build(obstacles),
+                };
+                PathLengthOracle::from_apsp(obstacles, apsp)
+            });
+            Arc::new(oracle)
+        })
+    }
+
+    fn trees_handle(&self) -> &RwLock<ShortestPathTrees> {
+        self.trees
+            .get_or_init(|| RwLock::new(ShortestPathTrees::from_oracle(Arc::clone(self.oracle_handle()), Some(&[]))))
+    }
+
+    /// Fail with [`RspError::PointInsideObstacle`] when `p` is strictly
+    /// inside an obstacle.
+    fn check_point(&self, p: Point) -> Result<(), RspError> {
+        match self.instance.obstacles().containing_obstacle(p) {
+            Some(obstacle) => Err(RspError::PointInsideObstacle { point: p, obstacle }),
+            None => Ok(()),
+        }
+    }
+
+    /// Index of an obstacle vertex, or [`RspError::NotAVertex`].
+    fn vertex_index(&self, p: Point) -> Result<usize, RspError> {
+        self.oracle_handle().apsp().vertex_index(p).ok_or(RspError::NotAVertex(p))
+    }
+
+    // ------------------------------------------------------------------
+    // Length queries (Section 6)
+    // ------------------------------------------------------------------
+
+    /// Length of a shortest obstacle-avoiding rectilinear path between two
+    /// arbitrary points: `O(1)` when both are obstacle vertices, `O(log n)`
+    /// otherwise.
+    pub fn distance(&self, a: Point, b: Point) -> Result<Dist, RspError> {
+        let oracle = self.oracle_handle();
+        let apsp = oracle.apsp();
+        // Vertex pairs skip the O(n) containment scan: obstacle vertices can
+        // never lie strictly inside an obstacle once disjointness validated.
+        if let (Some(i), Some(j)) = (apsp.vertex_index(a), apsp.vertex_index(b)) {
+            return Ok(apsp.distance(i, j));
+        }
+        self.check_point(a)?;
+        self.check_point(b)?;
+        Ok(oracle.distance_clear(a, b))
+    }
+
+    /// `O(1)` length query for two obstacle vertices.  Unlike the old
+    /// `Option`-returning oracle API, a non-vertex argument is a typed
+    /// [`RspError::NotAVertex`].
+    pub fn vertex_distance(&self, a: Point, b: Point) -> Result<Dist, RspError> {
+        let oracle = self.oracle_handle();
+        let (i, j) = (self.vertex_index(a)?, self.vertex_index(b)?);
+        Ok(oracle.apsp().distance(i, j))
+    }
+
+    /// Batch length queries.  Pairs where both endpoints are obstacle
+    /// vertices are routed to the `O(1)` matrix fast path; the remaining
+    /// pairs fan out over rayon.  The output is index-aligned with `pairs`
+    /// and equals what per-pair [`Router::distance`] calls would return.
+    pub fn distances(&self, pairs: &[(Point, Point)]) -> Result<Vec<Dist>, RspError> {
+        let oracle = self.oracle_handle();
+        let apsp = oracle.apsp();
+        let mut out = vec![0 as Dist; pairs.len()];
+        let mut slow: Vec<usize> = Vec::new();
+        for (k, &(a, b)) in pairs.iter().enumerate() {
+            match (apsp.vertex_index(a), apsp.vertex_index(b)) {
+                // The fast path stays O(1) per pair: vertices never lie
+                // strictly inside an obstacle, so no containment scan runs.
+                (Some(i), Some(j)) => out[k] = apsp.distance(i, j),
+                (ai, bi) => {
+                    if ai.is_none() {
+                        self.check_point(a)?;
+                    }
+                    if bi.is_none() {
+                        self.check_point(b)?;
+                    }
+                    slow.push(k);
+                }
+            }
+        }
+        let slow_results: Vec<(usize, Dist)> =
+            self.in_pool(|| slow.par_iter().map(|&k| (k, oracle.distance_clear(pairs[k].0, pairs[k].1))).collect());
+        for (k, d) in slow_results {
+            out[k] = d;
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Path reporting (Section 8)
+    // ------------------------------------------------------------------
+
+    /// Make sure a shortest-path tree exists for each source vertex (callers
+    /// have already resolved the points to vertices).
+    fn ensure_trees(&self, sources: &[Point]) {
+        let lock = self.trees_handle();
+        let missing = {
+            let guard = lock.read().expect("router tree lock poisoned");
+            sources.iter().any(|&s| !guard.has_tree(s))
+        };
+        if missing {
+            let mut guard = lock.write().expect("router tree lock poisoned");
+            let trees: &mut ShortestPathTrees = &mut guard;
+            let built = self.in_pool(|| trees.ensure_sources(sources));
+            self.counts.trees.fetch_add(built, Ordering::Relaxed);
+        }
+    }
+
+    /// Report an actual shortest path between two obstacle vertices.  The
+    /// shortest-path tree for `source` is built on first use and cached.
+    pub fn path(&self, source: Point, target: Point) -> Result<RectiPath, RspError> {
+        self.vertex_index(source)?;
+        self.vertex_index(target)?;
+        self.ensure_trees(&[source]);
+        let guard = self.trees_handle().read().expect("router tree lock poisoned");
+        guard.path_between(source, target).ok_or(RspError::NotAVertex(source))
+    }
+
+    /// Batch path reporting: builds all missing source trees in one parallel
+    /// pass, then extracts every path.  Output is index-aligned with `pairs`.
+    pub fn paths(&self, pairs: &[(Point, Point)]) -> Result<Vec<RectiPath>, RspError> {
+        for &(s, t) in pairs {
+            self.vertex_index(s)?;
+            self.vertex_index(t)?;
+        }
+        let sources: Vec<Point> = pairs.iter().map(|&(s, _)| s).collect();
+        self.ensure_trees(&sources);
+        let guard = self.trees_handle().read().expect("router tree lock poisoned");
+        let trees: &ShortestPathTrees = &guard;
+        let out: Vec<RectiPath> = self.in_pool(|| {
+            pairs.par_iter().map(|&(s, t)| trees.path_between(s, t).expect("tree was just ensured")).collect()
+        });
+        Ok(out)
+    }
+
+    /// The number of tree edges between `target` and `source`'s tree root
+    /// (an upper bound on the reported path's segment count up to a
+    /// constant), answered in `O(1)` after the tree is built.
+    pub fn hop_count(&self, source: Point, target: Point) -> Result<usize, RspError> {
+        self.vertex_index(source)?;
+        self.vertex_index(target)?;
+        self.ensure_trees(&[source]);
+        let guard = self.trees_handle().read().expect("router tree lock poisoned");
+        guard.hop_count(source, target).ok_or(RspError::NotAVertex(source))
+    }
+
+    /// Report a path in independently extracted pieces of at most `chunk`
+    /// tree hops each (the parallel reporting scheme of Section 8), ordered
+    /// from `target` towards `source`.
+    pub fn path_chunks(&self, source: Point, target: Point, chunk: usize) -> Result<Vec<RectiPath>, RspError> {
+        self.vertex_index(source)?;
+        self.vertex_index(target)?;
+        self.ensure_trees(&[source]);
+        let guard = self.trees_handle().read().expect("router tree lock poisoned");
+        let trees: &ShortestPathTrees = &guard;
+        self.in_pool(|| trees.path_chunks(source, target, chunk)).ok_or(RspError::NotAVertex(source))
+    }
+
+    // ------------------------------------------------------------------
+    // The boundary matrix D_Q (Section 5)
+    // ------------------------------------------------------------------
+
+    /// The boundary-to-boundary path-length matrix `D_Q` over the instance
+    /// container, built on first use by the Section 5 divide-and-conquer
+    /// (staircase separators + Monge (min,+) conquer) and cached.
+    pub fn boundary_matrix(&self) -> Arc<BoundaryMatrix> {
+        Arc::clone(self.boundary.get_or_init(|| {
+            self.counts.boundary.fetch_add(1, Ordering::Relaxed);
+            let bm =
+                self.in_pool(|| build_boundary_matrix(self.instance.obstacles(), self.instance.container(), &self.dnc));
+            Arc::new(bm)
+        }))
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection helpers (Sections 3, 4, 6.1) — used by the figure gallery
+    // ------------------------------------------------------------------
+
+    /// The Theorem 2 staircase separator of this router's obstacles (`None`
+    /// for fewer than two obstacles).
+    pub fn separator(&self) -> Option<Separator> {
+        find_separator_unbounded(self.instance.obstacles())
+    }
+
+    /// The Section 6.1 recursion tree (for inspection / rendering).
+    pub fn recursion_tree(&self) -> RecursionTree {
+        RecursionTree::build(self.instance.obstacles())
+    }
+
+    /// The Section 3 escape path of `kind` from `p`, clipped to the instance
+    /// container.  `p` must lie in the container and outside all obstacle
+    /// interiors.
+    pub fn escape(&self, p: Point, kind: EscapeKind) -> Result<Chain, RspError> {
+        self.check_point(p)?;
+        if !self.instance.container().contains(p) {
+            return Err(RspError::PointOutsideContainer(p));
+        }
+        // Ray shooting only needs the O(n log n) ShootIndex; borrow the
+        // oracle's copy when the oracle already exists, otherwise build a
+        // standalone index instead of forcing the O(n^2) oracle construction.
+        let index = match self.oracle.get() {
+            Some(oracle) => oracle.shoot_index(),
+            None => self.shoot_index.get_or_init(|| ShootIndex::build(self.instance.obstacles())),
+        };
+        Ok(escape_path(self.instance.obstacles(), index, self.instance.container(), p, kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_geom::hanan::ground_truth_distance;
+    use rsp_geom::{Rect, INF};
+    use rsp_workload::{query_pairs, uniform_disjoint};
+
+    fn sample() -> ObstacleSet {
+        ObstacleSet::new(vec![Rect::new(2, 2, 6, 10), Rect::new(9, 0, 12, 6), Rect::new(8, 9, 15, 12)])
+    }
+
+    #[test]
+    fn builder_rejects_overlap_with_pair_evidence() {
+        let obs = ObstacleSet::new(vec![Rect::new(0, 0, 4, 4), Rect::new(3, 3, 8, 8)]);
+        match Router::new(obs) {
+            Err(RspError::OverlappingObstacles(v)) => {
+                assert_eq!((v.first, v.second), (0, 1));
+            }
+            other => panic!("expected overlap error, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn distance_and_path_share_one_oracle_build() {
+        let router = Router::new(sample()).unwrap();
+        assert_eq!(router.build_counts(), BuildCounts::default());
+        let v1 = Point::new(6, 10);
+        let v2 = Point::new(9, 0);
+        let d = router.vertex_distance(v1, v2).unwrap();
+        let p = router.path(v1, v2).unwrap();
+        assert_eq!(p.length(), d);
+        let _ = router.distance(Point::new(0, 0), Point::new(16, 13)).unwrap();
+        let _ = router.boundary_matrix();
+        let _ = router.boundary_matrix();
+        let counts = router.build_counts();
+        assert_eq!(counts.oracle_builds, 1);
+        assert_eq!(counts.tree_builds, 1);
+        assert_eq!(counts.boundary_builds, 1);
+    }
+
+    #[test]
+    fn typed_errors_for_bad_queries() {
+        let router = Router::new(sample()).unwrap();
+        let inside = Point::new(3, 5);
+        match router.distance(inside, Point::new(0, 0)) {
+            Err(RspError::PointInsideObstacle { point, obstacle }) => {
+                assert_eq!(point, inside);
+                assert_eq!(obstacle, 0);
+            }
+            other => panic!("expected inside-obstacle error, got {other:?}"),
+        }
+        assert_eq!(
+            router.vertex_distance(Point::new(1, 1), Point::new(2, 2)),
+            Err(RspError::NotAVertex(Point::new(1, 1)))
+        );
+        assert!(matches!(router.path(Point::new(1, 1), Point::new(2, 2)), Err(RspError::NotAVertex(_))));
+    }
+
+    #[test]
+    fn distances_batch_matches_per_call() {
+        let w = uniform_disjoint(8, 3);
+        let router = Router::new(w.obstacles.clone()).unwrap();
+        let mut pairs = query_pairs(&w.obstacles, 30, false, 9);
+        pairs.extend(query_pairs(&w.obstacles, 30, true, 10));
+        let batch = router.distances(&pairs).unwrap();
+        for (k, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(batch[k], router.distance(a, b).unwrap(), "{a:?} -> {b:?}");
+            assert!(batch[k] < INF);
+            assert_eq!(batch[k], ground_truth_distance(&w.obstacles, a, b));
+        }
+    }
+
+    #[test]
+    fn paths_batch_certifies_lengths() {
+        let w = uniform_disjoint(6, 21);
+        let router = Router::new(w.obstacles.clone()).unwrap();
+        let verts = w.obstacles.vertices();
+        let pairs: Vec<(Point, Point)> =
+            verts.iter().step_by(3).flat_map(|&s| verts.iter().step_by(5).map(move |&t| (s, t))).collect();
+        let paths = router.paths(&pairs).unwrap();
+        for (k, &(s, t)) in pairs.iter().enumerate() {
+            let d = router.vertex_distance(s, t).unwrap();
+            assert!(paths[k].certifies(&w.obstacles, s, t, d), "{s:?} -> {t:?}");
+        }
+        // All distinct sources got exactly one tree each.
+        let distinct: std::collections::HashSet<Point> = pairs.iter().map(|&(s, _)| s).collect();
+        assert_eq!(router.build_counts().tree_builds, distinct.len());
+    }
+
+    #[test]
+    fn engines_agree_and_resolve() {
+        let w = uniform_disjoint(6, 14);
+        let auto = Router::new(w.obstacles.clone()).unwrap();
+        assert_eq!(auto.engine(), Engine::DivideAndConquer);
+        let single = Router::builder(w.obstacles.clone()).threads(1).build().unwrap();
+        assert_eq!(single.engine(), Engine::Sequential);
+        let hanan = Router::builder(w.obstacles.clone()).engine(Engine::HananBaseline).build().unwrap();
+        let verts = w.obstacles.vertices();
+        for &a in verts.iter().step_by(3) {
+            for &b in verts.iter().step_by(4) {
+                let d = auto.vertex_distance(a, b).unwrap();
+                assert_eq!(d, single.vertex_distance(a, b).unwrap());
+                assert_eq!(d, hanan.vertex_distance(a, b).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn escape_and_inspection_helpers() {
+        let router = Router::builder(sample()).margin(4).build().unwrap();
+        let chain = router.escape(Point::new(0, 0), EscapeKind::NE).unwrap();
+        assert!(!chain.points().is_empty());
+        // Escape-path inspection must not force the O(n^2) oracle build.
+        assert_eq!(router.build_counts().oracle_builds, 0);
+        assert!(router.separator().is_some());
+        assert!(!router.recursion_tree().is_empty());
+        let far = Point::new(10_000, 10_000);
+        assert_eq!(router.escape(far, EscapeKind::NE), Err(RspError::PointOutsideContainer(far)));
+    }
+}

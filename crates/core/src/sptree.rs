@@ -15,6 +15,7 @@ use rayon::prelude::*;
 use rsp_geom::{Chain, Dir, Dist, ObstacleSet, Point, RectiPath, INF};
 use rsp_pram::{Forest, LevelAncestor};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How a vertex connects to its parent in a shortest-path tree.
 #[derive(Clone, Debug)]
@@ -37,8 +38,14 @@ pub struct ShortestPathTree {
 }
 
 /// Shortest-path trees for a set of source vertices.
+///
+/// The oracle is held behind an [`Arc`] so that one
+/// [`PathLengthOracle`] build can be shared between length queries, path
+/// reporting and the [`Router`](crate::router::Router) without ever being
+/// reconstructed (the old by-value `from_oracle` forced callers that also
+/// wanted length queries to build the oracle twice).
 pub struct ShortestPathTrees {
-    oracle: PathLengthOracle,
+    oracle: Arc<PathLengthOracle>,
     trees: HashMap<usize, ShortestPathTree>,
 }
 
@@ -46,11 +53,12 @@ impl ShortestPathTrees {
     /// Build trees for the given sources (all `4n` vertices when `sources`
     /// is `None`), in parallel over sources.
     pub fn build(obstacles: &ObstacleSet, sources: Option<&[Point]>) -> Self {
-        Self::from_oracle(PathLengthOracle::build(obstacles), sources)
+        Self::from_oracle(Arc::new(PathLengthOracle::build(obstacles)), sources)
     }
 
-    /// Build from an existing oracle.
-    pub fn from_oracle(oracle: PathLengthOracle, sources: Option<&[Point]>) -> Self {
+    /// Build from a shared oracle.  The oracle is *not* rebuilt — the same
+    /// `Arc` can keep serving length queries.
+    pub fn from_oracle(oracle: Arc<PathLengthOracle>, sources: Option<&[Point]>) -> Self {
         let source_ids: Vec<usize> = match sources {
             Some(list) => list.iter().filter_map(|p| oracle.apsp().vertex_index(*p)).collect(),
             None => (0..oracle.apsp().len()).collect(),
@@ -65,9 +73,37 @@ impl ShortestPathTrees {
         &self.oracle
     }
 
+    /// A clone of the shared oracle handle.
+    pub fn oracle_arc(&self) -> Arc<PathLengthOracle> {
+        Arc::clone(&self.oracle)
+    }
+
     /// Number of trees built.
     pub fn num_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Is there a tree rooted at `source`?
+    pub fn has_tree(&self, source: Point) -> bool {
+        self.oracle.apsp().vertex_index(source).is_some_and(|s| self.trees.contains_key(&s))
+    }
+
+    /// Build (in parallel) any missing trees for the given source vertices;
+    /// non-vertex points are ignored.  Returns the number of trees actually
+    /// built, so callers can account construction work.
+    pub fn ensure_sources(&mut self, sources: &[Point]) -> usize {
+        let mut missing: Vec<usize> = sources
+            .iter()
+            .filter_map(|p| self.oracle.apsp().vertex_index(*p))
+            .filter(|s| !self.trees.contains_key(s))
+            .collect();
+        missing.sort_unstable();
+        missing.dedup();
+        let oracle = &self.oracle;
+        let built: Vec<(usize, ShortestPathTree)> = missing.par_iter().map(|&s| (s, build_tree(oracle, s))).collect();
+        let count = built.len();
+        self.trees.extend(built);
+        count
     }
 
     /// Report an actual shortest path between two obstacle vertices (a tree

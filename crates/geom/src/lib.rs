@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # rsp-geom — geometric substrate for rectilinear shortest paths
 //!
 //! This crate provides the geometric machinery used by the reproduction of
@@ -40,6 +42,6 @@ pub mod trapezoid;
 pub use chain::{Chain, Side};
 pub use path::RectiPath;
 pub use point::{Coord, Dir, Dist, Point, INF};
-pub use rect::{ObstacleSet, Rect};
+pub use rect::{DisjointnessViolation, ObstacleSet, Rect, RectId};
 pub use region::StairRegion;
 pub use staircase::Quadrant;

@@ -32,10 +32,12 @@ impl RectiPath {
         self.chain.points()
     }
 
+    /// First point of the path.
     pub fn source(&self) -> Point {
         self.chain.first()
     }
 
+    /// Last point of the path.
     pub fn target(&self) -> Point {
         self.chain.last()
     }

@@ -17,7 +17,9 @@ pub const INF: Dist = i64::MAX / 4;
 /// A point in the plane with integer coordinates.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Point {
+    /// Horizontal coordinate.
     pub x: Coord,
+    /// Vertical coordinate.
     pub y: Coord,
 }
 
@@ -73,9 +75,13 @@ pub fn pt(x: Coord, y: Coord) -> Point {
 /// (`NE(p)`, `WS(p)`, ... in Section 3) and trapezoidal decomposition.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum Dir {
+    /// Towards increasing `y`.
     North,
+    /// Towards decreasing `y`.
     South,
+    /// Towards increasing `x`.
     East,
+    /// Towards decreasing `x`.
     West,
 }
 

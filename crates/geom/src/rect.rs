@@ -12,9 +12,13 @@ use serde::{Deserialize, Serialize};
 /// boundary").
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct Rect {
+    /// Left edge coordinate.
     pub xmin: Coord,
+    /// Bottom edge coordinate.
     pub ymin: Coord,
+    /// Right edge coordinate.
     pub xmax: Coord,
+    /// Top edge coordinate.
     pub ymax: Coord,
 }
 
@@ -26,10 +30,12 @@ impl Rect {
         Rect { xmin, ymin, xmax, ymax }
     }
 
+    /// Horizontal extent `xmax - xmin`.
     pub fn width(&self) -> Coord {
         self.xmax - self.xmin
     }
 
+    /// Vertical extent `ymax - ymin`.
     pub fn height(&self) -> Coord {
         self.ymax - self.ymin
     }
@@ -150,6 +156,36 @@ impl Rect {
 /// Identifier of an obstacle within an [`ObstacleSet`].
 pub type RectId = usize;
 
+/// Evidence that two obstacles violate the paper's disjointness assumption:
+/// the offending pair of rectangle ids together with the rectangles
+/// themselves, as reported by [`ObstacleSet::validate_disjoint`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DisjointnessViolation {
+    /// Index of the first rectangle of the overlapping pair.
+    pub first: RectId,
+    /// Index of the second rectangle of the overlapping pair.
+    pub second: RectId,
+    /// The first rectangle.
+    pub first_rect: Rect,
+    /// The second rectangle.
+    pub second_rect: Rect,
+}
+
+impl std::fmt::Display for DisjointnessViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let a = &self.first_rect;
+        let b = &self.second_rect;
+        write!(
+            f,
+            "obstacles {} and {} have overlapping interiors: \
+             [{},{}]x[{},{}] intersects [{},{}]x[{},{}]",
+            self.first, self.second, a.xmin, a.xmax, a.ymin, a.ymax, b.xmin, b.xmax, b.ymin, b.ymax
+        )
+    }
+}
+
+impl std::error::Error for DisjointnessViolation {}
+
 /// A set of pairwise interior-disjoint rectangular obstacles — the input `R`
 /// of the paper.  The vertex set `V_R` has `4n` points.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -174,6 +210,7 @@ impl ObstacleSet {
         self.rects.len()
     }
 
+    /// True when the set holds no obstacles.
     pub fn is_empty(&self) -> bool {
         self.rects.is_empty()
     }
@@ -183,6 +220,7 @@ impl ObstacleSet {
         &self.rects
     }
 
+    /// Iterate over the rectangles in id order.
     pub fn iter(&self) -> impl Iterator<Item = &Rect> {
         self.rects.iter()
     }
@@ -192,13 +230,19 @@ impl ObstacleSet {
         self.rects[id]
     }
 
-    /// Check that all rectangles have pairwise disjoint interiors.
+    /// Check that all rectangles have pairwise disjoint interiors.  On
+    /// failure the error names the offending pair (ids and rectangles).
     /// `O(n^2)` — intended for input validation and tests, not hot paths.
-    pub fn validate_disjoint(&self) -> Result<(), (RectId, RectId)> {
+    pub fn validate_disjoint(&self) -> Result<(), DisjointnessViolation> {
         for i in 0..self.rects.len() {
             for j in (i + 1)..self.rects.len() {
                 if self.rects[i].interiors_intersect(&self.rects[j]) {
-                    return Err((i, j));
+                    return Err(DisjointnessViolation {
+                        first: i,
+                        second: j,
+                        first_rect: self.rects[i],
+                        second_rect: self.rects[j],
+                    });
                 }
             }
         }
@@ -348,7 +392,14 @@ mod tests {
     #[test]
     fn obstacle_set_detects_overlap() {
         let set = ObstacleSet::new(vec![r(0, 0, 4, 4), r(3, 3, 8, 8)]);
-        assert_eq!(set.validate_disjoint(), Err((0, 1)));
+        let err = set.validate_disjoint().unwrap_err();
+        assert_eq!((err.first, err.second), (0, 1));
+        assert_eq!(err.first_rect, r(0, 0, 4, 4));
+        assert_eq!(err.second_rect, r(3, 3, 8, 8));
+        let msg = err.to_string();
+        assert!(msg.contains("obstacles 0 and 1"), "{msg}");
+        assert!(msg.contains("[0,4]x[0,4]"), "{msg}");
+        assert!(msg.contains("[3,8]x[3,8]"), "{msg}");
     }
 
     #[test]

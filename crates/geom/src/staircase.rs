@@ -17,13 +17,18 @@ use crate::region::StairRegion;
 /// The four diagonal quadrants used to name the staircases of Fig. 1.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Quadrant {
+    /// North-east (`+x`, `+y`).
     NE,
+    /// North-west (`-x`, `+y`).
     NW,
+    /// South-east (`+x`, `-y`).
     SE,
+    /// South-west (`-x`, `-y`).
     SW,
 }
 
 impl Quadrant {
+    /// All four quadrants.
     pub const ALL: [Quadrant; 4] = [Quadrant::NE, Quadrant::NW, Quadrant::SE, Quadrant::SW];
 
     /// Sign transform `(sx, sy)` mapping this quadrant's construction onto

@@ -15,9 +15,13 @@ use rayon::prelude::*;
 /// One of the four sides of a rectangle, naming an obstacle edge.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Edge {
+    /// The bottom side (`y = ymin`).
     Bottom,
+    /// The top side (`y = ymax`).
     Top,
+    /// The left side (`x = xmin`).
     Left,
+    /// The right side (`x = xmax`).
     Right,
 }
 

@@ -4,42 +4,45 @@
 //! A chip floorplan is modelled as a set of rectangular macro blocks
 //! (obstacles).  Nets connect pins placed on block boundaries; the router
 //! wants, for every net, the shortest rectilinear wire length that avoids
-//! routing over the macros.  We build the all-pairs vertex structure once and
-//! then answer thousands of pin-to-pin queries in constant/logarithmic time.
+//! routing over the macros.  One `Router` session builds the all-pairs
+//! vertex structure once and then serves thousands of pin-to-pin queries in
+//! constant/logarithmic time — here through the batch API, which routes
+//! corner-to-corner nets to the O(1) fast path automatically.
 //!
 //! Run with `cargo run --release --example circuit_routing`.
 
-use rectilinear_shortest_paths::core::query::PathLengthOracle;
-use rectilinear_shortest_paths::geom::{Point, INF};
 use rectilinear_shortest_paths::workload::{query_pairs, uniform_disjoint};
+use rectilinear_shortest_paths::{Point, Router, RspError, INF};
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), RspError> {
     // A synthetic floorplan with 64 macro blocks.
     let floorplan = uniform_disjoint(64, 2024);
-    let obstacles = &floorplan.obstacles;
+    let obstacles = floorplan.obstacles;
     println!("floorplan: {} macro blocks, {} block corners", obstacles.len(), obstacles.vertices().len());
 
+    let corner_nets = query_pairs(&obstacles, 2_000, true, 7);
+    let free_nets = query_pairs(&obstacles, 2_000, false, 8);
+
+    let router = Router::new(obstacles)?;
     let t0 = Instant::now();
-    let oracle = PathLengthOracle::build(obstacles);
+    let _ = router.oracle(); // force the lazy build to time it
     println!("routing oracle built in {:.3} s", t0.elapsed().as_secs_f64());
 
-    // Pin-to-pin nets: pins sit at block corners (vertex queries, O(1)) ...
-    let corner_nets = query_pairs(obstacles, 2_000, true, 7);
+    // Pin-to-pin nets: pins sit at block corners (vertex queries, O(1) each
+    // inside the batch) ...
     let t1 = Instant::now();
-    let mut total_wire: i64 = 0;
-    for &(a, b) in &corner_nets {
-        total_wire += oracle.vertex_distance(a, b).unwrap_or(0);
-    }
+    let total_wire: i64 = router.distances(&corner_nets)?.iter().sum();
     let corner_time = t1.elapsed();
 
-    // ... and free pins anywhere on the die (arbitrary-point queries, O(log n)).
-    let free_nets = query_pairs(obstacles, 2_000, false, 8);
+    // ... and free pins anywhere on the die (arbitrary-point queries,
+    // O(log n) each, fanned out over the rayon pool by the batch layer).
     let t2 = Instant::now();
+    let free_lengths = router.distances(&free_nets)?;
+    let free_time = t2.elapsed();
     let mut detour_count = 0usize;
     let mut worst_detour = 0i64;
-    for &(a, b) in &free_nets {
-        let d = oracle.distance(a, b);
+    for (&(a, b), &d) in free_nets.iter().zip(&free_lengths) {
         if d < INF {
             let detour = d - a.l1(b);
             if detour > 0 {
@@ -48,7 +51,6 @@ fn main() {
             }
         }
     }
-    let free_time = t2.elapsed();
 
     println!(
         "{} corner-to-corner nets: total wire length {}, {:.2} µs/query",
@@ -64,9 +66,12 @@ fn main() {
         free_time.as_secs_f64() * 1e6 / free_nets.len() as f64
     );
 
-    // Sanity: the router never reports less than the Manhattan bound.
+    // Sanity: the router never reports less than the Manhattan bound, and
+    // the oracle was built exactly once across all 4000 queries.
     let sample = Point::new(0, 0);
     for &(a, _) in corner_nets.iter().take(50) {
-        assert!(oracle.distance(sample, a) >= sample.l1(a));
+        assert!(router.distance(sample, a)? >= sample.l1(a));
     }
+    assert_eq!(router.build_counts().oracle_builds, 1);
+    Ok(())
 }

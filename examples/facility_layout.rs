@@ -4,35 +4,34 @@
 //!
 //! A warehouse floor contains long shelving racks with narrow gaps (the
 //! `corridors` workload).  An AGV (automated guided vehicle) repeatedly needs
-//! shortest rectilinear routes between stations; we build the oracle and the
-//! shortest-path trees for a set of docking stations and report actual routes,
-//! demonstrating the `O(log n + k)` path reporting of Section 8.
+//! shortest rectilinear routes between stations; one `Router` session serves
+//! length estimates and actual routes, demonstrating the `O(log n + k)` path
+//! reporting of Section 8.  The shortest-path trees for the docking stations
+//! share the length oracle — nothing is built twice.
 //!
 //! Run with `cargo run --release --example facility_layout`.
 
-use rectilinear_shortest_paths::core::query::PathLengthOracle;
-use rectilinear_shortest_paths::core::sptree::ShortestPathTrees;
 use rectilinear_shortest_paths::render::Scene;
 use rectilinear_shortest_paths::workload::corridors;
+use rectilinear_shortest_paths::{Router, RspError};
 
-fn main() {
+fn main() -> Result<(), RspError> {
     // 12 shelving rows, each with a randomly placed gap.
     let warehouse = corridors(12, 90, 99);
-    let obstacles = &warehouse.obstacles;
+    let obstacles = warehouse.obstacles;
     println!("warehouse: {} rack segments", obstacles.len());
 
-    let oracle = PathLengthOracle::build(obstacles);
     let vertices = obstacles.vertices();
+    let router = Router::new(obstacles)?;
 
     // Docking stations at the outermost rack corners.
     let stations = [vertices[0], vertices[vertices.len() - 2]];
-    let trees = ShortestPathTrees::from_oracle(PathLengthOracle::build(obstacles), Some(&stations));
 
     for &station in &stations {
         // Route from the station to the far corner of the warehouse racks.
         let far = vertices.iter().copied().max_by_key(|v| v.l1(station)).unwrap();
-        let path = trees.path_between(station, far).expect("route exists");
-        assert!(path.avoids(obstacles), "route must not cross a rack");
+        let path = router.path(station, far)?;
+        assert!(path.avoids(router.obstacles()), "route must not cross a rack");
         println!(
             "route {:?} -> {:?}: length {}, {} segments (threads {} rack gaps)",
             station,
@@ -42,24 +41,29 @@ fn main() {
             path.num_segments() / 2
         );
         // Parallel chunked reporting (Section 8): pieces of ~log n tree hops.
-        let chunks = trees.path_chunks(station, far, 4).unwrap();
+        let chunks = router.path_chunks(station, far, 4)?;
         println!("  reported in {} independently extracted chunks", chunks.len());
 
         // Draw the route on an ASCII map of the warehouse.
         let mut scene = Scene::new();
-        scene.add_obstacles(obstacles).add_path(&path, '*').add_point(station, 'S').add_point(far, 'T');
+        scene.add_obstacles(router.obstacles()).add_path(&path, '*').add_point(station, 'S').add_point(far, 'T');
         println!("{}", scene.to_ascii(100));
     }
 
-    // Compare congestion-free Manhattan estimates against true routed lengths.
-    let mut underestimates = 0usize;
-    for &v in vertices.iter().step_by(5) {
-        for &w in vertices.iter().step_by(7) {
-            let true_len = oracle.vertex_distance(v, w).unwrap();
-            if true_len > v.l1(w) {
-                underestimates += 1;
-            }
-        }
-    }
+    // Compare congestion-free Manhattan estimates against true routed
+    // lengths, served as one batch (every pair takes the O(1) fast path).
+    let pairs: Vec<_> =
+        vertices.iter().step_by(5).flat_map(|&v| vertices.iter().step_by(7).map(move |&w| (v, w))).collect();
+    let routed = router.distances(&pairs)?;
+    let underestimates = pairs.iter().zip(&routed).filter(|(&(v, w), &d)| d > v.l1(w)).count();
     println!("pairs where the naive Manhattan estimate is too optimistic: {underestimates}");
+
+    let counts = router.build_counts();
+    println!(
+        "substructure builds: oracle {}, station trees {}, boundary matrix {}",
+        counts.oracle_builds, counts.tree_builds, counts.boundary_builds
+    );
+    assert_eq!(counts.oracle_builds, 1);
+    assert_eq!(counts.tree_builds, stations.len());
+    Ok(())
 }

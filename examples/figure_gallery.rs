@@ -2,17 +2,18 @@
 //! F1–F5 of DESIGN.md).  Each figure is printed as ASCII and also written as
 //! an SVG file under `target/figures/`.
 //!
+//! The algorithmic ingredients (escape paths, the staircase separator, the
+//! recursion tree) are reached through `Router`'s inspection helpers; only
+//! the purely geometric constructions (MAX staircases, envelopes, `B(Q)`)
+//! come from the `geom` expert layer.
+//!
 //! Run with `cargo run --release --example figure_gallery`.
 
-use rectilinear_shortest_paths::core::separator::find_separator_unbounded;
-use rectilinear_shortest_paths::core::trace::{escape_path, EscapeKind};
-use rectilinear_shortest_paths::core::tree::RecursionTree;
-use rectilinear_shortest_paths::geom::rayshoot::ShootIndex;
 use rectilinear_shortest_paths::geom::staircase::{envelope, max_staircase, Quadrant};
-use rectilinear_shortest_paths::geom::{ObstacleSet, Point, Rect, StairRegion};
 use rectilinear_shortest_paths::monge::{is_monge, MinPlusMatrix};
 use rectilinear_shortest_paths::render::Scene;
 use rectilinear_shortest_paths::workload::uniform_disjoint;
+use rectilinear_shortest_paths::{EscapeKind, ObstacleSet, Point, Rect, Router, RspError, StairRegion};
 use std::fs;
 use std::path::Path;
 
@@ -35,9 +36,12 @@ fn sample_obstacles() -> ObstacleSet {
     ])
 }
 
-fn main() {
+fn main() -> Result<(), RspError> {
     let obstacles = sample_obstacles();
     let window = obstacles.bbox().unwrap().expand(4);
+    // The session's container (margin 4 around the bounding box) doubles as
+    // the clipping window for the escape-path figures.
+    let router = Router::builder(obstacles.clone()).margin(4).build()?;
 
     // ---- Figure 1 & 2: MAX staircases and the envelope -------------------
     println!("Figure 1/2 — MAX_NE and MAX_SW staircases and the envelope Env(R'):");
@@ -69,10 +73,9 @@ fn main() {
 
     // ---- Figure 5: escape paths NE(p) and WS(p) ---------------------------
     println!("Figure 5 — the escape paths NE(p) and WS(p):");
-    let index = ShootIndex::build(&obstacles);
     let p = Point::new(10, 2);
-    let ne = escape_path(&obstacles, &index, &region, p, EscapeKind::NE);
-    let ws = escape_path(&obstacles, &index, &region, p, EscapeKind::WS);
+    let ne = router.escape(p, EscapeKind::NE)?;
+    let ws = router.escape(p, EscapeKind::WS)?;
     let mut fig5 = Scene::new();
     fig5.add_obstacles(&obstacles).add_chain(&ne, '+').add_chain(&ws, '-').add_point(p, 'p');
     println!("{}", fig5.to_ascii(100));
@@ -81,7 +84,8 @@ fn main() {
     // ---- Figure 6: the staircase separator --------------------------------
     println!("Figure 6 — the Theorem-2 staircase separator:");
     let bigger = uniform_disjoint(24, 5).obstacles;
-    let sep = find_separator_unbounded(&bigger).expect("separator exists");
+    let big_router = Router::new(bigger.clone())?;
+    let sep = big_router.separator().expect("separator exists");
     println!(
         "  split {} obstacles into {} above / {} below (balance {:.2})",
         bigger.len(),
@@ -106,7 +110,7 @@ fn main() {
 
     // ---- Figures 9-13: the recursion tree ---------------------------------
     println!("Figures 9–13 — the recursion tree of Section 6.1 (sizes, separators, depths):");
-    let tree = RecursionTree::build(&bigger);
+    let tree = big_router.recursion_tree();
     println!("{}", tree.summary());
     println!("  {} nodes, height {}, worst balance {:.2}", tree.len(), tree.height(), tree.worst_balance());
 
@@ -126,4 +130,5 @@ fn main() {
     }
     save("fig14_chunks", &fig14);
     println!("done — SVGs in target/figures/");
+    Ok(())
 }

@@ -1,49 +1,54 @@
-//! Quickstart: build the shortest-path data structure for a handful of
-//! rectangular obstacles and answer length and path queries.
+//! Quickstart: one `Router` session over a handful of rectangular obstacles
+//! serves length queries, batch queries, actual paths and the boundary
+//! matrix — each substructure is built lazily, exactly once, and shared.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use rectilinear_shortest_paths::core::dnc::{build_boundary_matrix_bbox, DncOptions};
-use rectilinear_shortest_paths::core::query::PathLengthOracle;
-use rectilinear_shortest_paths::core::sptree::ShortestPathTrees;
-use rectilinear_shortest_paths::geom::{ObstacleSet, Point, Rect};
+use rectilinear_shortest_paths::{ObstacleSet, Point, Rect, Router, RspError};
 
-fn main() {
+fn main() -> Result<(), RspError> {
     // A rectilinear "floor plan": a few axis-parallel rectangular obstacles.
-    let obstacles = ObstacleSet::new(vec![
+    // Overlapping rectangles would make `build()` fail with a typed error
+    // naming the offending pair.
+    let router = Router::builder(ObstacleSet::new(vec![
         Rect::new(2, 2, 6, 10),
         Rect::new(9, 0, 12, 6),
         Rect::new(8, 9, 15, 12),
         Rect::new(16, 3, 19, 14),
         Rect::new(3, 13, 7, 16),
-    ]);
-    obstacles.validate_disjoint().expect("obstacles must be disjoint");
+    ]))
+    .build()?;
 
     // 1. Length queries (Section 6 of the paper): O(1) between obstacle
     //    vertices, O(log n) between arbitrary points.
-    let oracle = PathLengthOracle::build(&obstacles);
     let a = Point::new(0, 0);
     let b = Point::new(20, 15);
-    println!("shortest obstacle-avoiding length {:?} -> {:?}: {}", a, b, oracle.distance(a, b));
+    println!("shortest obstacle-avoiding length {:?} -> {:?}: {}", a, b, router.distance(a, b)?);
     let v1 = Point::new(6, 10); // an obstacle vertex
     let v2 = Point::new(16, 3); // another obstacle vertex
-    println!("vertex-to-vertex (O(1) lookup) {:?} -> {:?}: {:?}", v1, v2, oracle.vertex_distance(v1, v2));
+    println!("vertex-to-vertex (O(1) lookup) {:?} -> {:?}: {}", v1, v2, router.vertex_distance(v1, v2)?);
 
-    // 2. Actual paths (Section 8): shortest-path trees + parallel reporting.
-    let trees = ShortestPathTrees::from_oracle(PathLengthOracle::build(&obstacles), Some(&[v1]));
-    let path = trees.path_between(v1, v2).expect("both endpoints are vertices");
+    // 2. Actual paths (Section 8): the shortest-path tree for v1 is built on
+    //    first use and shares the oracle with the length queries above —
+    //    nothing is constructed twice.
+    let path = router.path(v1, v2)?;
     println!(
         "an actual shortest path with {} segments and length {}: {:?}",
         path.num_segments(),
         path.length(),
         path.points()
     );
-    assert!(path.avoids(&obstacles));
+    assert!(path.avoids(router.obstacles()));
 
-    // 3. The boundary-to-boundary matrix D_Q (Section 5), built by the
+    // 3. Batch serving: vertex pairs are routed to the O(1) fast path, the
+    //    rest fan out over the rayon pool.
+    let lengths = router.distances(&[(a, b), (v1, v2), (a, v2)])?;
+    println!("batch of 3 lengths: {:?}", lengths);
+
+    // 4. The boundary-to-boundary matrix D_Q (Section 5), built by the
     //    parallel divide-and-conquer with staircase separators and Monge
     //    (min,+) products.
-    let bm = build_boundary_matrix_bbox(&obstacles, 2, &DncOptions::default());
+    let bm = router.boundary_matrix();
     println!(
         "boundary matrix over {} discretisation points; {} recursion nodes, {} Monge products, {} general products",
         bm.points.len(),
@@ -51,4 +56,13 @@ fn main() {
         bm.stats.monge_products,
         bm.stats.general_products
     );
+
+    // The build counters certify the build-once behaviour.
+    let counts = router.build_counts();
+    println!(
+        "substructure builds: oracle {}, path trees {}, boundary matrix {}",
+        counts.oracle_builds, counts.tree_builds, counts.boundary_builds
+    );
+    assert_eq!(counts.oracle_builds, 1);
+    Ok(())
 }
