@@ -9,6 +9,10 @@
 //! * `batch_vertex_pairs` — every pair hits the O(1) matrix fast path;
 //! * `batch_mixed` — half vertex pairs, half arbitrary points (the fast-path
 //!   routing inside one batch);
+//! * `batch_arbitrary_points` — every pair takes the §6.4 arbitrary-point
+//!   path (after ISSUE 5: indexed containment probes + binary-searched
+//!   staircases + borrowed `ChainView`, so the series should be near-flat
+//!   on a log scale instead of linear in n);
 //! * `per_call_vertex_pairs` — the same vertex pairs served by individual
 //!   `distance` calls, to expose the batch layer's overhead/benefit.
 
@@ -26,12 +30,16 @@ fn bench(c: &mut Criterion) {
         let vertex_batch = query_pairs(&w.obstacles, 512, true, 1);
         let mut mixed_batch: Vec<(Point, Point)> = query_pairs(&w.obstacles, 256, true, 2);
         mixed_batch.extend(query_pairs(&w.obstacles, 256, false, 3));
+        let arbitrary_batch = query_pairs(&w.obstacles, 512, false, 4);
 
         group.bench_with_input(BenchmarkId::new("batch_vertex_pairs", n), &n, |b, _| {
             b.iter(|| router.distances(&vertex_batch).unwrap().iter().sum::<i64>())
         });
         group.bench_with_input(BenchmarkId::new("batch_mixed", n), &n, |b, _| {
             b.iter(|| router.distances(&mixed_batch).unwrap().iter().sum::<i64>())
+        });
+        group.bench_with_input(BenchmarkId::new("batch_arbitrary_points", n), &n, |b, _| {
+            b.iter(|| router.distances(&arbitrary_batch).unwrap().iter().sum::<i64>())
         });
         group.bench_with_input(BenchmarkId::new("per_call_vertex_pairs", n), &n, |b, _| {
             b.iter(|| {

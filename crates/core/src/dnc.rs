@@ -326,35 +326,16 @@ impl Extended {
     }
 }
 
-/// Is the straight axis-parallel segment `a`–`b` clear of obstacle interiors,
-/// answered with the child's ray-shooting index?
-fn segment_clear_indexed(index: &ShootIndex, a: Point, b: Point) -> bool {
-    if a == b {
-        return true;
-    }
-    let dir = if a.x == b.x {
-        if b.y > a.y {
-            rsp_geom::Dir::North
-        } else {
-            rsp_geom::Dir::South
-        }
-    } else if b.x > a.x {
-        rsp_geom::Dir::East
-    } else {
-        rsp_geom::Dir::West
-    };
-    match index.shoot(a, dir) {
-        None => true,
-        Some(hit) => hit.distance_from(a) >= a.l1(b),
-    }
-}
-
-/// Is some L-shaped (one-bend) path between `a` and `b` clear?
+/// Is some L-shaped (one-bend) path between `a` and `b` clear?  `a` and `b`
+/// are region-boundary points, so they are never strictly inside an obstacle
+/// and the outside-start ray shot applies (the shared implementation lives
+/// in `rsp_geom::rayshoot`; `ObstacleIndex::segment_clear` is the variant
+/// without the precondition).
 fn l_path_clear(index: &ShootIndex, a: Point, b: Point) -> bool {
     let via1 = Point::new(b.x, a.y);
     let via2 = Point::new(a.x, b.y);
-    (segment_clear_indexed(index, a, via1) && segment_clear_indexed(index, via1, b))
-        || (segment_clear_indexed(index, a, via2) && segment_clear_indexed(index, via2, b))
+    (index.segment_clear_from_outside(a, via1) && index.segment_clear_from_outside(via1, b))
+        || (index.segment_clear_from_outside(a, via2) && index.segment_clear_from_outside(via2, b))
 }
 
 /// Attach `extra` boundary points to a child's matrix (Lemma 7).

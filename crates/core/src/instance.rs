@@ -3,13 +3,17 @@
 
 use rsp_geom::{DisjointnessViolation, ObstacleSet, Point, Rect, StairRegion};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A problem instance.  The container is stored as a [`StairRegion`]; in the
 /// common benchmarks it is a rectangle, but any rectilinearly convex polygon
 /// with a clear boundary is accepted.
+/// The obstacle set is held behind an [`Arc`] so session layers (the
+/// `Router`) can hand the same allocation to the `PathLengthOracle` instead
+/// of cloning all `n` rectangles on every session build.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Instance {
-    obstacles: ObstacleSet,
+    obstacles: Arc<ObstacleSet>,
     container: StairRegion,
 }
 
@@ -48,7 +52,7 @@ impl From<DisjointnessViolation> for InstanceError {
 impl Instance {
     /// Build an instance with an explicit container.
     pub fn new(obstacles: ObstacleSet, container: StairRegion) -> Self {
-        Instance { obstacles, container }
+        Instance { obstacles: Arc::new(obstacles), container }
     }
 
     /// Build an instance whose container is the bounding box of the obstacles
@@ -56,12 +60,18 @@ impl Instance {
     /// `P` is just "large enough").
     pub fn with_margin(obstacles: ObstacleSet, margin: i64) -> Self {
         let bbox = obstacles.bbox().unwrap_or(Rect::new(0, 0, 1, 1)).expand(margin.max(1));
-        Instance { container: StairRegion::from_rect(bbox), obstacles }
+        Instance { container: StairRegion::from_rect(bbox), obstacles: Arc::new(obstacles) }
     }
 
     /// The obstacle set `R`.
     pub fn obstacles(&self) -> &ObstacleSet {
-        &self.obstacles
+        self.obstacles.as_ref()
+    }
+
+    /// A shared handle to the obstacle set (no copy; the `Router` passes
+    /// this straight into `PathLengthOracle::from_apsp`).
+    pub fn obstacles_arc(&self) -> Arc<ObstacleSet> {
+        Arc::clone(&self.obstacles)
     }
 
     /// The container `P`.

@@ -23,22 +23,122 @@ use crate::apsp::VertexApsp;
 use crate::instance::Instance;
 use crate::trace::{escape_path, EscapeKind};
 use rsp_geom::rayshoot::ShootIndex;
-use rsp_geom::{Chain, Coord, Dir, Dist, ObstacleSet, Point, Rect, StairRegion, INF};
+use rsp_geom::{Chain, Coord, Dir, Dist, ObstacleIndex, ObstacleSet, Point, Rect, StairRegion, INF};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Far-away sentinel used to extend clipped escape staircases back to
 /// "unbounded" ones.
 const FAR: Coord = 1 << 40;
 
 /// The query data structure of Section 6.4.
+///
+/// Every per-query primitive on the arbitrary-point path is logarithmic and
+/// allocation-free: ray shots and point containment go through the
+/// [`ObstacleIndex`], staircase/line intersections binary-search the
+/// monotone escape chains, and the on-the-fly staircase of a both-arbitrary
+/// query is a borrowed [`ChainView`] instead of a concatenated heap chain.
 pub struct PathLengthOracle {
-    obstacles: ObstacleSet,
+    obstacles: Arc<ObstacleSet>,
     apsp: VertexApsp,
-    index: ShootIndex,
+    index: ObstacleIndex,
     /// `chains[k][v]` — escape staircase of vertex `v` into quadrant `k`
     /// (0 = NE, 1 = NW, 2 = SE, 3 = SW), extended to infinity.
     chains: [Vec<Chain>; 4],
     vertex_id: HashMap<Point, usize>,
+}
+
+/// A borrowed escape staircase: up to three inline prefix points (the query
+/// point, the ray hit, the obstacle corner) followed by an optional borrowed
+/// precomputed corner staircase whose first point equals the last prefix
+/// point.  This is the allocation-free replacement for assembling a
+/// both-arbitrary query's staircase with `Chain::concat`: the union of
+/// segments is identical, so the line intersections agree, and nothing is
+/// heap-allocated per query.
+struct ChainView<'a> {
+    /// Inline prefix points; only the first `prefix_len` are meaningful.
+    /// Constructors produce `prefix_len` 0 (whole chain), 2 (inline ray) or
+    /// 3 (prefix + suffix) — never 1, so the intersections need no
+    /// single-point case.
+    prefix: [Point; 3],
+    prefix_len: usize,
+    suffix: Option<&'a Chain>,
+}
+
+impl<'a> ChainView<'a> {
+    /// View an entire precomputed chain (the one-arbitrary-endpoint case).
+    fn whole(chain: &'a Chain) -> Self {
+        ChainView { prefix: [Point::new(0, 0); 3], prefix_len: 0, suffix: Some(chain) }
+    }
+
+    /// View of inline points only (a straight ray to infinity).
+    fn inline(prefix: [Point; 3], prefix_len: usize) -> Self {
+        ChainView { prefix, prefix_len, suffix: None }
+    }
+
+    /// Prefix points then the borrowed suffix.
+    fn with_suffix(prefix: [Point; 3], suffix: &'a Chain) -> Self {
+        debug_assert_eq!(prefix[2], suffix.first(), "prefix must end where the suffix starts");
+        ChainView { prefix, prefix_len: 3, suffix: Some(suffix) }
+    }
+
+    /// Merge two optional coordinate intervals.
+    fn merge(a: Option<(Coord, Coord)>, b: Option<(Coord, Coord)>) -> Option<(Coord, Coord)> {
+        match (a, b) {
+            (Some((alo, ahi)), Some((blo, bhi))) => Some((alo.min(blo), ahi.max(bhi))),
+            (one, None) => one,
+            (None, one) => one,
+        }
+    }
+
+    /// Intersection with the horizontal line `y = c` (mirrors
+    /// [`Chain::intersect_horizontal`]): constant work on the prefix plus a
+    /// logarithmic search on the borrowed staircase suffix.
+    fn intersect_horizontal(&self, c: Coord) -> Option<(Coord, Coord)> {
+        let mut acc: Option<(Coord, Coord)> = None;
+        let prefix = &self.prefix[..self.prefix_len];
+        for w in prefix.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if a.y.min(b.y) <= c && c <= a.y.max(b.y) {
+                let seg = if a.y == b.y { (a.x.min(b.x), a.x.max(b.x)) } else { (a.x, a.x) };
+                acc = Self::merge(acc, Some(seg));
+            }
+        }
+        Self::merge(acc, self.suffix.and_then(|s| s.intersect_horizontal(c)))
+    }
+
+    /// Intersection with the vertical line `x = c`.
+    fn intersect_vertical(&self, c: Coord) -> Option<(Coord, Coord)> {
+        let mut acc: Option<(Coord, Coord)> = None;
+        let prefix = &self.prefix[..self.prefix_len];
+        for w in prefix.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if a.x.min(b.x) <= c && c <= a.x.max(b.x) {
+                let seg = if a.x == b.x { (a.y.min(b.y), a.y.max(b.y)) } else { (a.y, a.y) };
+                acc = Self::merge(acc, Some(seg));
+            }
+        }
+        Self::merge(acc, self.suffix.and_then(|s| s.intersect_vertical(c)))
+    }
+}
+
+/// Per-query cache for the up-to-four axis shots from one arbitrary query
+/// point.  A both-arbitrary detour evaluates up to four inner vertex
+/// reductions, all shooting from the same point `q`; caching turns their
+/// certificate shots into `O(1)` re-reads.  Lives on the stack (`Cell`s of
+/// `Copy` data), so the hot path stays allocation-free.
+#[derive(Default)]
+struct ShotCache {
+    slots: [std::cell::Cell<Option<Option<rsp_geom::rayshoot::Hit>>>; 4],
+}
+
+fn dir_slot(dir: Dir) -> usize {
+    match dir {
+        Dir::North => 0,
+        Dir::South => 1,
+        Dir::East => 2,
+        Dir::West => 3,
+    }
 }
 
 pub(crate) fn quadrant_of(from: Point, to: Point) -> usize {
@@ -77,41 +177,76 @@ fn extend_to_far(chain: &Chain, primary: Dir) -> Chain {
     Chain::new(pts)
 }
 
+/// Fill `out[i]` with the extended escape staircase of `vertices[i]`,
+/// splitting the range over [`rayon::join`] down to sequential chunks.
+fn fill_escape_chains(
+    obstacles: &ObstacleSet,
+    index: &ShootIndex,
+    region: &StairRegion,
+    vertices: &[Point],
+    kind: EscapeKind,
+    out: &mut [Chain],
+) {
+    const SEQ_CHUNK: usize = 32;
+    debug_assert_eq!(vertices.len(), out.len());
+    if vertices.len() <= SEQ_CHUNK {
+        for (slot, &v) in out.iter_mut().zip(vertices) {
+            *slot = extend_to_far(&escape_path(obstacles, index, region, v, kind), kind.primary);
+        }
+        return;
+    }
+    let mid = vertices.len() / 2;
+    let (lo, hi) = out.split_at_mut(mid);
+    rayon::join(
+        || fill_escape_chains(obstacles, index, region, &vertices[..mid], kind, lo),
+        || fill_escape_chains(obstacles, index, region, &vertices[mid..], kind, hi),
+    );
+}
+
 impl PathLengthOracle {
-    /// Build the oracle: the vertex matrix, the ray-shooting index and the
-    /// `4 · 4n` precomputed escape staircases of Section 6.1.
+    /// Build the oracle: the vertex matrix, the obstacle index and the
+    /// `4 · 4n` precomputed escape staircases of Section 6.1.  Copies the
+    /// obstacle set; callers that already hold an `Arc` (the `Router`) use
+    /// [`PathLengthOracle::build_arc`] to skip the copy.
     pub fn build(obstacles: &ObstacleSet) -> Self {
-        Self::from_apsp(obstacles, VertexApsp::build(obstacles))
+        Self::build_arc(Arc::new(obstacles.clone()))
     }
 
-    /// Build from an existing vertex matrix.
-    pub fn from_apsp(obstacles: &ObstacleSet, apsp: VertexApsp) -> Self {
-        let index = ShootIndex::build(obstacles);
+    /// Build from a shared obstacle set without copying it.
+    pub fn build_arc(obstacles: Arc<ObstacleSet>) -> Self {
+        let apsp = VertexApsp::build(&obstacles);
+        Self::from_apsp(obstacles, apsp)
+    }
+
+    /// Build from an existing vertex matrix and a shared obstacle set.  The
+    /// four escape-staircase families are built concurrently over
+    /// [`rayon::join`] splits (pairs of quadrants, then vertex-range halves).
+    pub fn from_apsp(obstacles: Arc<ObstacleSet>, apsp: VertexApsp) -> Self {
+        let index = ObstacleIndex::build(&obstacles);
         let bbox = obstacles.bbox().unwrap_or(Rect::new(0, 0, 1, 1)).expand(8);
         let region = StairRegion::from_rect(bbox);
         let vertices = apsp.vertices().to_vec();
         let build_chains = |kind: EscapeKind| -> Vec<Chain> {
-            vertices
-                .iter()
-                .map(|&v| extend_to_far(&escape_path(obstacles, &index, &region, v, kind), kind.primary))
-                .collect()
+            let mut out = vec![Chain::singleton(Point::new(0, 0)); vertices.len()];
+            fill_escape_chains(&obstacles, index.shoot_index(), &region, &vertices, kind, &mut out);
+            out
         };
-        let chains = [
-            build_chains(EscapeKind::NE),
-            build_chains(EscapeKind::NW),
-            build_chains(EscapeKind::SE),
-            build_chains(EscapeKind::SW),
-        ];
+        let ((ne, nw), (se, sw)) = rayon::join(
+            || rayon::join(|| build_chains(EscapeKind::NE), || build_chains(EscapeKind::NW)),
+            || rayon::join(|| build_chains(EscapeKind::SE), || build_chains(EscapeKind::SW)),
+        );
+        let chains = [ne, nw, se, sw];
         let mut vertex_id = HashMap::with_capacity(vertices.len());
         for (i, &p) in vertices.iter().enumerate() {
             vertex_id.entry(p).or_insert(i);
         }
-        PathLengthOracle { obstacles: obstacles.clone(), apsp, index, chains, vertex_id }
+        PathLengthOracle { obstacles, apsp, vertex_id, index, chains }
     }
 
-    /// Convenience constructor from an [`Instance`].
+    /// Convenience constructor from an [`Instance`] (shares the instance's
+    /// obstacle `Arc` — no copy).
     pub fn build_for(instance: &Instance) -> Self {
-        Self::build(instance.obstacles())
+        Self::build_arc(instance.obstacles_arc())
     }
 
     /// The underlying vertex matrix.
@@ -138,36 +273,44 @@ impl PathLengthOracle {
 
     /// Shared ray-shooting index.
     pub(crate) fn shoot_index(&self) -> &ShootIndex {
+        self.index.shoot_index()
+    }
+
+    /// Shared containment/segment index (logarithmic point location).
+    pub(crate) fn obstacle_index(&self) -> &ObstacleIndex {
         &self.index
     }
 
     /// If some one-bend (L-shaped) path between `a` and `b` is clear of
     /// obstacle interiors, return its bend point.
+    ///
+    /// Short-circuits through the [`ObstacleIndex`]: endpoints strictly
+    /// inside an obstacle fail immediately, and the degenerate collinear
+    /// cases (`a.x == b.x` or `a.y == b.y`) resolve with a single ray shot
+    /// instead of up to four.
     pub fn l_connection(&self, a: Point, b: Point) -> Option<Point> {
+        if self.index.containing_obstacle(a).is_some() || self.index.containing_obstacle(b).is_some() {
+            return None;
+        }
+        let shoot = self.index.shoot_index();
+        if a.x == b.x || a.y == b.y {
+            // Both candidate bends coincide with an endpoint; one straight
+            // segment decides.  (Returns the same bend the general case
+            // would: `(b.x, a.y)` equals `a` resp. `b` here.)
+            return shoot.segment_clear_from_outside(a, b).then_some(Point::new(b.x, a.y));
+        }
+        // The first legs start at `a` (outside, checked above); a clear first
+        // leg guarantees the bend is not strictly inside either, so the
+        // cheaper outside-start shot is valid for both legs.
         [Point::new(b.x, a.y), Point::new(a.x, b.y)]
             .into_iter()
-            .find(|&bend| self.segment_clear(a, bend) && self.segment_clear(bend, b))
+            .find(|&bend| shoot.segment_clear_from_outside(a, bend) && shoot.segment_clear_from_outside(bend, b))
     }
 
-    fn segment_clear(&self, a: Point, b: Point) -> bool {
-        if a == b {
-            return true;
-        }
-        let dir = if a.x == b.x {
-            if b.y > a.y {
-                Dir::North
-            } else {
-                Dir::South
-            }
-        } else if b.x > a.x {
-            Dir::East
-        } else {
-            Dir::West
-        };
-        match self.index.shoot(a, dir) {
-            None => true,
-            Some(hit) => hit.distance_from(a) >= a.l1(b),
-        }
+    /// Unified segment clearance (same semantics as the naive
+    /// [`ObstacleSet::segment_clear`], logarithmic cost).
+    pub fn segment_clear(&self, a: Point, b: Point) -> bool {
+        self.index.segment_clear(a, b)
     }
 
     /// O(1) query for two obstacle vertices.  `None` if either point is not
@@ -183,13 +326,13 @@ impl PathLengthOracle {
     /// Length of a shortest obstacle-avoiding path between two arbitrary
     /// points (`INF` if either lies strictly inside an obstacle).
     pub fn distance(&self, p: Point, q: Point) -> Dist {
-        if self.obstacles.containing_obstacle(p).is_some() || self.obstacles.containing_obstacle(q).is_some() {
+        if self.index.containing_obstacle(p).is_some() || self.index.containing_obstacle(q).is_some() {
             return INF;
         }
         self.distance_clear(p, q)
     }
 
-    /// [`PathLengthOracle::distance`] without the O(n) containment scan, for
+    /// [`PathLengthOracle::distance`] without the containment probes, for
     /// callers (the `Router`) that have already verified neither endpoint
     /// lies strictly inside an obstacle.
     pub(crate) fn distance_clear(&self, p: Point, q: Point) -> Dist {
@@ -205,19 +348,48 @@ impl PathLengthOracle {
         if let Some(&pi) = self.vertex_id.get(&p) {
             return self.distance_to_vertex(q, pi);
         }
-        // both arbitrary: assemble q's escape staircase on the fly and reduce
-        let chain = self.on_the_fly_chain(q, quadrant_of(q, p));
-        self.reduce(p, q, &chain, |v| self.distance_to_vertex(q, self.vertex_id[&v]))
+        // both arbitrary: view q's escape staircase on the fly (borrowed, no
+        // allocation) and reduce; all inner vertex reductions shoot from the
+        // same `q`, so they share one per-query shot cache
+        let cache = ShotCache::default();
+        let quad = quadrant_of(q, p);
+        let view = self.on_the_fly_view(q, quad, Some(&cache));
+        self.reduce(p, q, &view, None, true, |vi| self.distance_to_vertex_cached(q, vi, Some(&cache)))
     }
 
     /// Distance from an arbitrary point `p` to vertex number `qi`.
     fn distance_to_vertex(&self, p: Point, qi: usize) -> Dist {
+        self.distance_to_vertex_cached(p, qi, None)
+    }
+
+    /// [`PathLengthOracle::distance_to_vertex`] with an optional shared
+    /// cache for the axis shots from `p`.
+    fn distance_to_vertex_cached(&self, p: Point, qi: usize, cache: Option<&ShotCache>) -> Dist {
         let q = self.apsp.vertices()[qi];
         if p == q {
             return 0;
         }
         let chain = &self.chains[quadrant_of(q, p)][qi];
-        self.reduce(p, q, chain, |v| self.apsp.distance_between(v, q))
+        self.reduce(p, q, &ChainView::whole(chain), cache, false, |vi| self.apsp.distance(vi, qi))
+    }
+
+    /// Shoot from `p`, consulting and filling the per-query cache when one
+    /// is shared by sibling reductions from the same point.
+    fn shoot_cached(&self, p: Point, dir: Dir, cache: Option<&ShotCache>) -> Option<rsp_geom::rayshoot::Hit> {
+        match cache {
+            None => self.index.shoot(p, dir),
+            Some(c) => {
+                let slot = &c.slots[dir_slot(dir)];
+                match slot.get() {
+                    Some(hit) => hit,
+                    None => {
+                        let hit = self.index.shoot(p, dir);
+                        slot.set(Some(hit));
+                        hit
+                    }
+                }
+            }
+        }
     }
 
     /// The core reduction of Section 6.4: from `p`, shoot towards `q` both
@@ -225,20 +397,104 @@ impl PathLengthOracle {
     /// distance (if the staircase `chain` emanating from `q` is reached
     /// before any obstacle) or a detour through the endpoints of the blocking
     /// edge, whose distances to `q` are supplied by `to_q`.
-    fn reduce(&self, p: Point, q: Point, chain: &Chain, to_q: impl Fn(Point) -> Dist) -> Dist {
-        let mut best = INF;
-        // Horizontal shot.
+    ///
+    /// Every reduction yields the length of some genuine obstacle-avoiding
+    /// path, so `L1(p, q)` is a global lower bound and either shot reaching
+    /// the staircase before its blocking obstacle certifies the final
+    /// answer.  Both cheap reach tests (one indexed shot + one staircase
+    /// binary search each) therefore run **before** either expensive detour
+    /// (two `to_q` evaluations, which recurse on the both-arbitrary path):
+    /// detours only run for the rare pairs where neither ray reaches the
+    /// staircase, which is what keeps the per-query cost logarithmic in
+    /// practice and not dominated by the detour recursion.
+    fn reduce(
+        &self,
+        p: Point,
+        q: Point,
+        chain: &ChainView<'_>,
+        cache: Option<&ShotCache>,
+        outer: bool,
+        to_q: impl Fn(usize) -> Dist,
+    ) -> Dist {
+        let lower = p.l1(q);
         let hdir = if q.x <= p.x { Dir::West } else { Dir::East };
-        best = best.min(self.one_shot(p, q, chain, hdir, &to_q));
-        // Vertical shot.
+        let hhit = self.shoot_cached(p, hdir, cache);
+        if Self::chain_reached(p, chain, hdir, hhit.map(|h| h.distance_from(p))) {
+            return lower;
+        }
         let vdir = if q.y <= p.y { Dir::South } else { Dir::North };
-        best = best.min(self.one_shot(p, q, chain, vdir, &to_q));
+        let vhit = self.shoot_cached(p, vdir, cache);
+        if Self::chain_reached(p, chain, vdir, vhit.map(|h| h.distance_from(p))) {
+            return lower;
+        }
+        // L-path certificate: a clear one-bend path realises the L1 lower
+        // bound outright.  The first leg of each candidate L runs along the
+        // ray just shot, so only the second leg needs a fresh (logarithmic)
+        // shot — far cheaper than a detour, whose two `to_q` evaluations
+        // recurse into full vertex reductions.
+        // The L-path certificate only pays off on the outer level, where a
+        // fallback detour recurses into full vertex reductions; an inner
+        // detour is two O(1) matrix lookups, cheaper than the extra shots
+        // the certificate costs.
+        if outer {
+            let shoot = self.index.shoot_index();
+            if hhit.is_none_or(|h| h.distance_from(p) >= (q.x - p.x).abs())
+                && shoot.segment_clear_from_outside(Point::new(q.x, p.y), q)
+            {
+                return lower;
+            }
+            if vhit.is_none_or(|h| h.distance_from(p) >= (q.y - p.y).abs())
+                && shoot.segment_clear_from_outside(Point::new(p.x, q.y), q)
+            {
+                return lower;
+            }
+        }
+        // Detours: collect the up-to-four blocking-edge endpoints, order by
+        // the L1 lower bound `|pv| + |vq|` of any path through them, and
+        // evaluate with best-first pruning — `to_q(v)` is the expensive step
+        // (a recursive vertex reduction on the both-arbitrary path), and a
+        // candidate whose bound cannot beat the incumbent is skipped without
+        // evaluating it.  Endpoint vertex ids follow directly from the
+        // obstacle id (`V_R` stores LL, LR, UR, UL per obstacle), so no hash
+        // lookups happen here.
+        let mut candidates: [Option<(Dist, Point, usize)>; 4] = [None; 4];
+        let mut k = 0;
+        for (hit, dir) in [(hhit, hdir), (vhit, vdir)] {
+            let Some(hit) = hit else { continue };
+            let r = self.obstacles.rect(hit.rect);
+            let base = 4 * hit.rect;
+            let (v1, i1, v2, i2) = match dir {
+                Dir::West => (r.lr(), base + 1, r.ur(), base + 2),
+                Dir::East => (r.ll(), base, r.ul(), base + 3),
+                Dir::South => (r.ul(), base + 3, r.ur(), base + 2),
+                Dir::North => (r.ll(), base, r.lr(), base + 1),
+            };
+            for (v, vi) in [(v1, i1), (v2, i2)] {
+                debug_assert_eq!(self.apsp.vertices()[vi], v, "V_R must be in LL,LR,UR,UL obstacle order");
+                candidates[k] = Some((p.l1(v) + v.l1(q), v, vi));
+                k += 1;
+            }
+        }
+        candidates[..k].sort_unstable_by_key(|c| c.map_or(INF, |(bound, _, _)| bound));
+        let mut best = INF;
+        for &(bound, v, vi) in candidates[..k].iter().flatten() {
+            if bound >= best {
+                break; // sorted: no later candidate can improve
+            }
+            let tail = to_q(vi);
+            if tail < INF {
+                best = best.min(p.l1(v) + tail);
+            }
+            if best == lower {
+                return best;
+            }
+        }
         best
     }
 
-    fn one_shot(&self, p: Point, q: Point, chain: &Chain, dir: Dir, to_q: &impl Fn(Point) -> Dist) -> Dist {
-        let hit = self.index.shoot(p, dir);
-        let obstacle_distance = hit.map(|h| h.distance_from(p));
+    /// Does the ray from `p` in direction `dir` meet the staircase no later
+    /// than its first obstacle (`obstacle_distance`)?
+    fn chain_reached(p: Point, chain: &ChainView<'_>, dir: Dir, obstacle_distance: Option<Dist>) -> bool {
         // distance along the ray at which the chain is first met
         let chain_distance: Option<Dist> = match dir {
             Dir::West | Dir::East => chain.intersect_horizontal(p.y).and_then(|(lo, hi)| {
@@ -276,47 +532,45 @@ impl PathLengthOracle {
                 }
             }),
         };
-        match (chain_distance, obstacle_distance) {
-            (Some(cd), od) if od.is_none_or(|o| cd <= o) => p.l1(q),
-            (_, Some(_)) => {
-                let hitinfo = hit.unwrap();
-                let r = self.obstacles.rect(hitinfo.rect);
-                let (v1, v2) = match dir {
-                    Dir::West => (r.lr(), r.ur()),
-                    Dir::East => (r.ll(), r.ul()),
-                    Dir::South => (r.ul(), r.ur()),
-                    Dir::North => (r.ll(), r.lr()),
-                };
-                let mut best = INF;
-                for v in [v1, v2] {
-                    let tail = to_q(v);
-                    if tail < INF {
-                        best = best.min(p.l1(v) + tail);
-                    }
-                }
-                best
-            }
-            _ => INF,
-        }
+        chain_distance.is_some_and(|cd| obstacle_distance.is_none_or(|od| cd <= od))
     }
 
-    /// Assemble the escape staircase of an arbitrary point `q` into quadrant
+    /// View the escape staircase of an arbitrary point `q` into quadrant
     /// `quad`: shoot the primary direction once; if an obstacle is hit, walk
     /// along it to the corner and continue with that corner's precomputed
-    /// staircase.
-    fn on_the_fly_chain(&self, q: Point, quad: usize) -> Chain {
+    /// (borrowed) staircase.  Nothing is allocated: this is the old
+    /// `on_the_fly_chain` minus its per-query `Chain::concat`.
+    fn on_the_fly_view(&self, q: Point, quad: usize, cache: Option<&ShotCache>) -> ChainView<'_> {
         let kind = kind_for_quadrant(quad);
-        match self.index.shoot(q, kind.primary) {
-            None => extend_to_far(&Chain::singleton(q), kind.primary),
+        match self.shoot_cached(q, kind.primary, cache) {
+            None => {
+                let far = match kind.primary {
+                    Dir::North => Point::new(q.x, FAR),
+                    Dir::South => Point::new(q.x, -FAR),
+                    Dir::East => Point::new(FAR, q.y),
+                    Dir::West => Point::new(-FAR, q.y),
+                };
+                ChainView::inline([q, far, far], 2)
+            }
             Some(hit) => {
                 let r = self.obstacles.rect(hit.rect);
-                let corner = r.corner(
-                    if kind.primary.is_vertical() { kind.primary.opposite() } else { kind.policy },
-                    if kind.primary.is_vertical() { kind.policy } else { kind.primary.opposite() },
-                );
-                let prefix = Chain::new(vec![q, hit.point, corner]);
-                let corner_chain = &self.chains[quad][self.vertex_id[&corner]];
-                prefix.concat(corner_chain)
+                let (vertical, horizontal) = if kind.primary.is_vertical() {
+                    (kind.primary.opposite(), kind.policy)
+                } else {
+                    (kind.policy, kind.primary.opposite())
+                };
+                let corner = r.corner(vertical, horizontal);
+                // corner -> vertex id without hashing (LL, LR, UR, UL order)
+                let corner_id = 4 * hit.rect
+                    + match (vertical, horizontal) {
+                        (Dir::South, Dir::West) => 0,
+                        (Dir::South, Dir::East) => 1,
+                        (Dir::North, Dir::East) => 2,
+                        _ => 3,
+                    };
+                debug_assert_eq!(self.apsp.vertices()[corner_id], corner);
+                let corner_chain = &self.chains[quad][corner_id];
+                ChainView::with_suffix([q, hit.point, corner], corner_chain)
             }
         }
     }
@@ -374,6 +628,56 @@ mod tests {
         let oracle = PathLengthOracle::build(&obs);
         assert_eq!(oracle.distance(Point::new(5, 5), Point::new(20, 20)), INF);
         assert_eq!(oracle.vertex_distance(Point::new(5, 5), Point::new(0, 0)), None);
+    }
+
+    #[test]
+    fn l_connection_degenerate_collinear() {
+        let obs = ObstacleSet::new(vec![Rect::new(2, 2, 6, 10), Rect::new(9, 0, 12, 6)]);
+        let oracle = PathLengthOracle::build(&obs);
+        // a.x == b.x, clear corridor: the bend is the general-rule `(b.x, a.y)` = a
+        let (a, b) = (Point::new(7, 0), Point::new(7, 12));
+        assert_eq!(oracle.l_connection(a, b), Some(Point::new(b.x, a.y)));
+        // a.x == b.x, blocked by obstacle 0
+        assert_eq!(oracle.l_connection(Point::new(4, 0), Point::new(4, 12)), None);
+        // a.y == b.y, clear along the shared boundary height y=10
+        assert_eq!(oracle.l_connection(Point::new(0, 10), Point::new(13, 10)), Some(Point::new(13, 10)));
+        // a.y == b.y, blocked by both obstacles
+        assert_eq!(oracle.l_connection(Point::new(0, 4), Point::new(13, 4)), None);
+        // zero-length degenerate
+        assert_eq!(oracle.l_connection(a, a), Some(a));
+        // an endpoint strictly inside an obstacle short-circuits to None
+        assert_eq!(oracle.l_connection(Point::new(3, 5), Point::new(3, 20)), None);
+        assert_eq!(oracle.l_connection(Point::new(0, 0), Point::new(10, 3)), None);
+    }
+
+    #[test]
+    fn segment_clear_agrees_with_naive_scan() {
+        // Pin the unified semantics: the oracle's indexed segment_clear must
+        // answer exactly like ObstacleSet::segment_clear, including segments
+        // that start strictly inside an obstacle (invisible to a bare ray
+        // shot, the old oracle-local implementation's blind spot).
+        let w = uniform_disjoint(12, 23);
+        let oracle = PathLengthOracle::build(&w.obstacles);
+        let bbox = w.obstacles.bbox().unwrap();
+        let step = ((bbox.width().max(bbox.height()) / 12).max(1)) as usize;
+        let mut probes = Vec::new();
+        let mut x = bbox.xmin - 3;
+        while x <= bbox.xmax + 3 {
+            let mut y = bbox.ymin - 3;
+            while y <= bbox.ymax + 3 {
+                probes.push(Point::new(x, y));
+                y += step as i64;
+            }
+            x += step as i64;
+        }
+        for &a in &probes {
+            for &b in &probes {
+                if a.x != b.x && a.y != b.y {
+                    continue;
+                }
+                assert_eq!(oracle.segment_clear(a, b), w.obstacles.segment_clear(a, b), "{a:?} -> {b:?}");
+            }
+        }
     }
 
     #[test]

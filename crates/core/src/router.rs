@@ -258,7 +258,7 @@ impl Router {
                     }
                     Engine::Auto | Engine::DivideAndConquer => VertexApsp::build(obstacles),
                 };
-                PathLengthOracle::from_apsp(obstacles, apsp)
+                PathLengthOracle::from_apsp(self.instance.obstacles_arc(), apsp)
             });
             Arc::new(oracle)
         })
@@ -270,9 +270,16 @@ impl Router {
     }
 
     /// Fail with [`RspError::PointInsideObstacle`] when `p` is strictly
-    /// inside an obstacle.
+    /// inside an obstacle.  On the query hot path the oracle's
+    /// [`ObstacleIndex`](rsp_geom::ObstacleIndex) answers in `O(log n)`;
+    /// cold callers (`escape`) fall back to the `O(n)` scan rather than
+    /// force the oracle build.
     fn check_point(&self, p: Point) -> Result<(), RspError> {
-        match self.instance.obstacles().containing_obstacle(p) {
+        let containing = match self.oracle.get() {
+            Some(oracle) => oracle.obstacle_index().containing_obstacle(p),
+            None => self.instance.obstacles().containing_obstacle(p),
+        };
+        match containing {
             Some(obstacle) => Err(RspError::PointInsideObstacle { point: p, obstacle }),
             None => Ok(()),
         }

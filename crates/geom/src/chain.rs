@@ -29,11 +29,76 @@ pub enum Monotone {
     Decreasing,
 }
 
+/// Cached monotonicity sign meaning "the chain reverses direction along this
+/// axis" (the other values are `-1`, `0`, `+1`: the net sign of movement).
+const NOT_MONOTONE: i8 = 2;
+
+/// Below this many vertices the linear intersection scan beats the binary
+/// search; it is also the regime where degenerate staircases (no movement
+/// along one axis) live.
+const STAIR_SEARCH_CUTOFF: usize = 8;
+
+/// Accessor pair selecting the query-axis and perpendicular coordinate of a
+/// point in [`Chain::intersect_line_stair`].
+type AxisAccessors = (fn(&Point) -> Coord, fn(&Point) -> Coord);
+
+/// Monotonicity signs `(sx, sy)` of a vertex list: each is `+1`/`-1` when
+/// every step along that axis has that sign, `0` when the chain never moves
+/// along the axis, and [`NOT_MONOTONE`] when it reverses.
+fn monotone_signs(pts: &[Point]) -> (i8, i8) {
+    let mut sx = 0i8;
+    let mut sy = 0i8;
+    for w in pts.windows(2) {
+        let dx = (w[1].x - w[0].x).signum() as i8;
+        if dx != 0 && sx != NOT_MONOTONE {
+            if sx == 0 {
+                sx = dx;
+            } else if sx != dx {
+                sx = NOT_MONOTONE;
+            }
+        }
+        let dy = (w[1].y - w[0].y).signum() as i8;
+        if dy != 0 && sy != NOT_MONOTONE {
+            if sy == 0 {
+                sy = dy;
+            } else if sy != dy {
+                sy = NOT_MONOTONE;
+            }
+        }
+    }
+    (sx, sy)
+}
+
 /// A rectilinear polyline described by its vertices (turning points plus the
 /// two endpoints).  Consecutive vertices must share exactly one coordinate.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+///
+/// Monotonicity along each axis is computed once at construction, which makes
+/// the staircase classifiers `O(1)` and lets the line-intersection queries
+/// binary-search monotone chains in `O(log n)` (Section 6.4 needs this bound
+/// on the escape staircases).
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Chain {
     pts: Vec<Point>,
+    /// Cached x-monotonicity sign (see [`monotone_signs`]).
+    sx: i8,
+    /// Cached y-monotonicity sign.
+    sy: i8,
+}
+
+// The monotonicity cache is derived data: serialize the vertex list only
+// and rebuild the signs through `Chain::new` on the way in, so no
+// serialized input can desynchronise the binary-search fast path (and the
+// wire format stays the pre-cache one).
+impl Serialize for Chain {
+    fn to_value(&self) -> serde::Value {
+        self.pts.to_value()
+    }
+}
+
+impl Deserialize for Chain {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Vec::<Point>::from_value(v).map(Chain::new)
+    }
 }
 
 impl Chain {
@@ -65,12 +130,13 @@ impl Chain {
             }
             out.push(p);
         }
-        Chain { pts: out }
+        let (sx, sy) = monotone_signs(&out);
+        Chain { pts: out, sx, sy }
     }
 
     /// Chain consisting of a single point.
     pub fn singleton(p: Point) -> Self {
-        Chain { pts: vec![p] }
+        Chain { pts: vec![p], sx: 0, sy: 0 }
     }
 
     /// The vertices of the chain.
@@ -107,7 +173,8 @@ impl Chain {
     pub fn reversed(&self) -> Chain {
         let mut p = self.pts.clone();
         p.reverse();
-        Chain { pts: p }
+        let flip = |s: i8| if s == NOT_MONOTONE { s } else { -s };
+        Chain { pts: p, sx: flip(self.sx), sy: flip(self.sy) }
     }
 
     /// Concatenate `self` with `other`.  The last point of `self` must equal
@@ -120,34 +187,14 @@ impl Chain {
     }
 
     /// Is the chain monotone in x (every vertical line meets it in a
-    /// connected set)?
+    /// connected set)?  `O(1)` — the sign is cached at construction.
     pub fn is_x_monotone(&self) -> bool {
-        let mut sign = 0i64;
-        for (a, b) in self.segments() {
-            let s = (b.x - a.x).signum();
-            if s != 0 {
-                if sign != 0 && s != sign {
-                    return false;
-                }
-                sign = s;
-            }
-        }
-        true
+        self.sx != NOT_MONOTONE
     }
 
-    /// Is the chain monotone in y?
+    /// Is the chain monotone in y?  `O(1)`.
     pub fn is_y_monotone(&self) -> bool {
-        let mut sign = 0i64;
-        for (a, b) in self.segments() {
-            let s = (b.y - a.y).signum();
-            if s != 0 {
-                if sign != 0 && s != sign {
-                    return false;
-                }
-                sign = s;
-            }
-        }
-        true
+        self.sy != NOT_MONOTONE
     }
 
     /// Is this chain a staircase (monotone in both axes — a "convex path")?
@@ -287,7 +334,29 @@ impl Chain {
 
     /// Intersection of the chain with the vertical line `x = c`, as the
     /// (possibly degenerate) y-interval covered.  `None` if no intersection.
+    ///
+    /// `O(log n)` on staircases (binary search over the monotone vertex
+    /// list — a staircase meets a grid line in at most three consecutive
+    /// segments); `O(n)` on general chains.  Debug builds cross-check the
+    /// binary search against [`Chain::intersect_vertical_linear`].
     pub fn intersect_vertical(&self, c: Coord) -> Option<(Coord, Coord)> {
+        if self.is_staircase() && self.pts.len() > STAIR_SEARCH_CUTOFF && self.sx != 0 {
+            let fast = self.intersect_line_stair(c, true);
+            debug_assert_eq!(
+                fast,
+                self.intersect_vertical_linear(c),
+                "staircase binary search disagrees with the linear scan at x={c}: {:?}",
+                self.pts
+            );
+            return fast;
+        }
+        self.intersect_vertical_linear(c)
+    }
+
+    /// Reference `O(n)` implementation of [`Chain::intersect_vertical`]:
+    /// works on arbitrary chains and is the debug-build cross-check for the
+    /// staircase binary search.
+    pub fn intersect_vertical_linear(&self, c: Coord) -> Option<(Coord, Coord)> {
         let mut lo = Coord::MAX;
         let mut hi = Coord::MIN;
         let mut found = false;
@@ -316,8 +385,24 @@ impl Chain {
     }
 
     /// Intersection of the chain with the horizontal line `y = c`, as the
-    /// (possibly degenerate) x-interval covered.
+    /// (possibly degenerate) x-interval covered.  Same cost profile as
+    /// [`Chain::intersect_vertical`].
     pub fn intersect_horizontal(&self, c: Coord) -> Option<(Coord, Coord)> {
+        if self.is_staircase() && self.pts.len() > STAIR_SEARCH_CUTOFF && self.sy != 0 {
+            let fast = self.intersect_line_stair(c, false);
+            debug_assert_eq!(
+                fast,
+                self.intersect_horizontal_linear(c),
+                "staircase binary search disagrees with the linear scan at y={c}: {:?}",
+                self.pts
+            );
+            return fast;
+        }
+        self.intersect_horizontal_linear(c)
+    }
+
+    /// Reference `O(n)` implementation of [`Chain::intersect_horizontal`].
+    pub fn intersect_horizontal_linear(&self, c: Coord) -> Option<(Coord, Coord)> {
         let mut lo = Coord::MAX;
         let mut hi = Coord::MIN;
         let mut found = false;
@@ -337,6 +422,50 @@ impl Chain {
                     hi = hi.max(a.x);
                 }
             }
+        }
+        if found {
+            Some((lo, hi))
+        } else {
+            None
+        }
+    }
+
+    /// Binary-search core of the staircase line intersections.  `vertical`
+    /// selects the query line orientation (`x = c` vs `y = c`).  Requires a
+    /// staircase with nonzero movement along the query axis; on such a chain
+    /// the coordinates of the vertex list are monotone along the axis, so at
+    /// most two vertices share the coordinate `c` and the segments meeting
+    /// the line form a run of at most three, found by one `partition_point`.
+    fn intersect_line_stair(&self, c: Coord, vertical: bool) -> Option<(Coord, Coord)> {
+        let pts = &self.pts;
+        let n = pts.len();
+        let (sign, (coord, perp)): (i8, AxisAccessors) =
+            if vertical { (self.sx, (|p| p.x, |p| p.y)) } else { (self.sy, (|p| p.y, |p| p.x)) };
+        debug_assert!(sign == 1 || sign == -1);
+        // First vertex index whose coordinate has reached `c` in walk order.
+        let start =
+            if sign == 1 { pts.partition_point(|p| coord(p) < c) } else { pts.partition_point(|p| coord(p) > c) };
+        let mut lo = Coord::MAX;
+        let mut hi = Coord::MIN;
+        let mut found = false;
+        let mut i = start.saturating_sub(1);
+        while i + 1 < n {
+            let (a, b) = (&pts[i], &pts[i + 1]);
+            let (slo, shi) = (coord(a).min(coord(b)), coord(a).max(coord(b)));
+            if (sign == 1 && slo > c) || (sign == -1 && shi < c) {
+                break; // all later segments lie strictly beyond the line
+            }
+            if slo <= c && c <= shi {
+                found = true;
+                if coord(a) == coord(b) {
+                    lo = lo.min(perp(a).min(perp(b)));
+                    hi = hi.max(perp(a).max(perp(b)));
+                } else {
+                    lo = lo.min(perp(a));
+                    hi = hi.max(perp(a));
+                }
+            }
+            i += 1;
         }
         if found {
             Some((lo, hi))
@@ -386,6 +515,7 @@ pub fn on_segment(a: Point, b: Point, p: Point) -> bool {
 mod tests {
     use super::*;
     use crate::point::pt;
+    use crate::rect::Rect;
 
     fn stair() -> Chain {
         // increasing staircase from (0,0) up-right to (6,6)
@@ -477,6 +607,77 @@ mod tests {
         assert_eq!(c.intersect_horizontal(10), None);
         assert_eq!(c.points_at_x(2), vec![pt(2, 0), pt(2, 3)]);
         assert_eq!(c.points_at_y(3), vec![pt(2, 3), pt(5, 3)]);
+    }
+
+    /// A long increasing staircase exercising the binary-search path of the
+    /// line intersections (more than `STAIR_SEARCH_CUTOFF` vertices, with
+    /// flat runs of varying width).
+    fn long_stair(steps: i64) -> Chain {
+        let mut pts = Vec::new();
+        let (mut x, mut y) = (0i64, 0i64);
+        for i in 0..steps {
+            pts.push(pt(x, y));
+            x += 1 + (i % 3);
+            pts.push(pt(x, y));
+            y += 1 + ((i + 1) % 2);
+        }
+        pts.push(pt(x, y));
+        Chain::new(pts)
+    }
+
+    #[test]
+    fn binary_search_intersections_match_linear_on_long_staircases() {
+        for chain in [long_stair(20), long_stair(20).reversed(), long_stair(7)] {
+            assert!(chain.is_staircase());
+            let b = chain.points().iter().fold(Rect::new(0, 0, 1, 1), |r, p| {
+                Rect::new(r.xmin.min(p.x), r.ymin.min(p.y), r.xmax.max(p.x), r.ymax.max(p.y))
+            });
+            for c in (b.xmin - 2)..=(b.xmax + 2) {
+                assert_eq!(chain.intersect_vertical(c), chain.intersect_vertical_linear(c), "x={c}");
+            }
+            for c in (b.ymin - 2)..=(b.ymax + 2) {
+                assert_eq!(chain.intersect_horizontal(c), chain.intersect_horizontal_linear(c), "y={c}");
+            }
+        }
+        // decreasing staircase (x increasing, y decreasing)
+        let dec = Chain::new(
+            (0..15)
+                .flat_map(|i| [pt(2 * i, -3 * i), pt(2 * i + 1, -3 * i), pt(2 * i + 1, -3 * (i + 1))])
+                .collect::<Vec<_>>(),
+        );
+        assert!(dec.is_staircase());
+        for c in -50..35 {
+            assert_eq!(dec.intersect_vertical(c), dec.intersect_vertical_linear(c), "x={c}");
+            assert_eq!(dec.intersect_horizontal(c), dec.intersect_horizontal_linear(c), "y={c}");
+        }
+    }
+
+    #[test]
+    fn non_monotone_chains_use_the_linear_scan() {
+        // a long zig-zag is x-monotone but not a staircase; intersections
+        // must still be exact (linear fallback)
+        let zig: Vec<Point> = (0..12).flat_map(|i| [pt(3 * i, (i % 2) * 4), pt(3 * i + 3, (i % 2) * 4)]).collect();
+        let chain = Chain::new(zig);
+        assert!(chain.is_x_monotone() && !chain.is_y_monotone() && !chain.is_staircase());
+        assert_eq!(chain.intersect_horizontal(0), chain.intersect_horizontal_linear(0));
+        assert_eq!(chain.intersect_vertical(7), chain.intersect_vertical_linear(7));
+        assert_eq!(chain.intersect_vertical(4), Some((4, 4)));
+    }
+
+    #[test]
+    fn monotonicity_cache_survives_reversal_and_concat() {
+        let c = long_stair(12);
+        assert!(c.is_staircase());
+        assert_eq!(c.staircase_monotonicity(), Some(Monotone::Increasing));
+        let r = c.reversed();
+        assert!(r.is_staircase());
+        assert!(r.is_x_monotone() && r.is_y_monotone());
+        let d = Chain::new(vec![c.last(), pt(c.last().x + 4, c.last().y)]);
+        let cat = c.concat(&d);
+        assert!(cat.is_staircase());
+        let zig = Chain::new(vec![pt(0, 0), pt(2, 0), pt(2, 2), pt(4, 2), pt(4, 0)]);
+        assert!(!zig.reversed().is_y_monotone());
+        assert!(zig.reversed().is_x_monotone());
     }
 
     #[test]

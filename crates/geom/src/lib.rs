@@ -21,6 +21,9 @@
 //! * [`rayshoot`] — first-obstacle-hit queries in the four axis directions,
 //!   both naive and via a segment-tree index (the substitute for the
 //!   trapezoidal-decomposition / planar-subdivision structures of [4]).
+//! * [`locate`] — [`ObstacleIndex`]: logarithmic point containment and
+//!   axis-parallel segment clearance (the other half of the [4] stand-in;
+//!   replaces the `O(n)` scans on the Section 6.4 query hot path).
 //! * [`trapezoid`] — the per-vertex trapezoidal decomposition and the
 //!   `Hit(e)` sets used by Sections 8 and 9.
 //! * [`bq`] — the boundary discretisation `B(Q)` of Definition 1 (Fig. 3)
@@ -31,6 +34,7 @@
 pub mod bq;
 pub mod chain;
 pub mod hanan;
+pub mod locate;
 pub mod path;
 pub mod point;
 pub mod rayshoot;
@@ -40,6 +44,7 @@ pub mod staircase;
 pub mod trapezoid;
 
 pub use chain::{Chain, Side};
+pub use locate::ObstacleIndex;
 pub use path::RectiPath;
 pub use point::{Coord, Dir, Dist, Point, INF};
 pub use rect::{DisjointnessViolation, ObstacleSet, Rect, RectId};

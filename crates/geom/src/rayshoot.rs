@@ -57,27 +57,44 @@ pub fn shoot_naive(obstacles: &ObstacleSet, p: Point, dir: Dir, skip: Option<Rec
     best
 }
 
-/// Segment-tree index over one shooting direction.
+/// Segment-tree index over one shooting direction, with a sorted-slab fast
+/// path.
 ///
 /// Coordinates perpendicular to the shooting direction are compressed into
 /// "positions": even positions are the distinct coordinates themselves, odd
 /// positions are the open gaps between consecutive coordinates.  An obstacle
 /// edge covering the *open* interval `(a, b)` is stored in the `O(log n)`
 /// canonical nodes of that position range, and every node keeps its edges
-/// sorted by the coordinate along the shooting direction.
-struct DirIndex {
+/// sorted by the coordinate along the shooting direction — `O(n log n)`
+/// space, `O(log^2 n)` query (a binary search per tree level).
+///
+/// When the total edge/position incidence is small (the common case for
+/// scattered obstacles: `O(n log n)` entries) the build additionally
+/// materialises one sorted *slab* per position holding every edge covering
+/// it.  A query is then a single binary search in one contiguous array —
+/// a true `O(log n)` with a far smaller constant than the tree walk.  Scenes
+/// where slabs would degenerate towards their `O(n^2)` worst case (long
+/// walls spanning many positions, e.g. the `corridors` workload) skip the
+/// slab build and serve every query from the tree.
+pub(crate) struct DirIndex {
     /// sorted distinct perpendicular coordinates
     coords: Vec<Coord>,
     /// number of positions (2 * coords.len() - 1), rounded up to a power of two for the tree
     size: usize,
     /// tree nodes: node i covers positions [lo, hi); each holds (along_coord, rect) sorted
     nodes: Vec<Vec<(Coord, RectId)>>,
+    /// per-position sorted edge lists (the slab fast path), flattened into
+    /// one arena (`slab_starts[pos]..slab_starts[pos+1]` indexes
+    /// `slab_entries`); empty when the incidence budget was exceeded
+    slab_starts: Vec<u32>,
+    /// arena backing the slabs (sorted by along-coordinate within each slab)
+    slab_entries: Vec<(Coord, RectId)>,
     /// shooting toward larger coordinates (north/east) or smaller (south/west)
     forward: bool,
 }
 
 impl DirIndex {
-    fn build(edges: &[(Coord, Coord, Coord, RectId)], forward: bool) -> Self {
+    pub(crate) fn build(edges: &[(Coord, Coord, Coord, RectId)], forward: bool) -> Self {
         // edges: (perp_lo, perp_hi, along, rect): open interval (perp_lo, perp_hi)
         let mut coords: Vec<Coord> = edges.iter().flat_map(|e| [e.0, e.1]).collect();
         coords.sort_unstable();
@@ -89,10 +106,12 @@ impl DirIndex {
         }
         let mut nodes: Vec<Vec<(Coord, RectId)>> = vec![Vec::new(); 2 * size];
         let pos_of = |c: Coord| -> usize { coords.binary_search(&c).unwrap() * 2 };
+        let mut incidence = 0usize;
         for &(lo, hi, along, rect) in edges {
             if lo >= hi {
                 continue;
             }
+            incidence += pos_of(hi) - pos_of(lo) - 1;
             // open interval (lo, hi) covers positions pos(lo)+1 ..= pos(hi)-1
             let (mut l, mut r) = (pos_of(lo) + 1 + size, pos_of(hi) - 1 + size + 1);
             while l < r {
@@ -111,7 +130,35 @@ impl DirIndex {
         for node in nodes.iter_mut() {
             node.sort_unstable();
         }
-        DirIndex { coords, size, nodes, forward }
+        // Slab fast path, gated on an O(n log n) incidence budget so the
+        // structure never degenerates to quadratic space.  The per-position
+        // lists live in one flat arena (offset array + entry array) so a
+        // query touches two contiguous allocations, not a Vec-of-Vecs.
+        let m = edges.len().max(2);
+        let budget = 4 * m * (usize::BITS - m.leading_zeros()) as usize;
+        let (slab_starts, slab_entries) = if incidence <= budget {
+            let mut slabs: Vec<Vec<(Coord, RectId)>> = vec![Vec::new(); positions];
+            for &(lo, hi, along, rect) in edges {
+                if lo >= hi {
+                    continue;
+                }
+                for slab in slabs.iter_mut().take(pos_of(hi)).skip(pos_of(lo) + 1) {
+                    slab.push((along, rect));
+                }
+            }
+            let mut starts = Vec::with_capacity(positions + 1);
+            let mut entries = Vec::with_capacity(incidence);
+            starts.push(0u32);
+            for slab in slabs.iter_mut() {
+                slab.sort_unstable();
+                entries.extend_from_slice(slab);
+                starts.push(entries.len() as u32);
+            }
+            (starts, entries)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        DirIndex { coords, size, nodes, slab_starts, slab_entries, forward }
     }
 
     /// Position of a query coordinate, or `None` if it is outside the range
@@ -132,8 +179,23 @@ impl DirIndex {
 
     /// First hit along the shooting direction from coordinate `along`,
     /// at perpendicular coordinate `perp`.
-    fn query(&self, perp: Coord, along: Coord) -> Option<(Coord, RectId)> {
+    pub(crate) fn query(&self, perp: Coord, along: Coord) -> Option<(Coord, RectId)> {
         let pos = self.position(perp)?;
+        if !self.slab_starts.is_empty() {
+            // Slab fast path: one binary search in one contiguous array.
+            let list = &self.slab_entries[self.slab_starts[pos] as usize..self.slab_starts[pos + 1] as usize];
+            return if self.forward {
+                let i = list.partition_point(|&(c, _)| c < along);
+                list.get(i).copied()
+            } else {
+                let i = list.partition_point(|&(c, _)| c <= along);
+                if i == 0 {
+                    None
+                } else {
+                    list.get(i - 1).copied()
+                }
+            };
+        }
         let mut node = pos + self.size;
         let mut best: Option<(Coord, RectId)> = None;
         loop {
@@ -200,6 +262,37 @@ impl ShootIndex {
             south: DirIndex::build(&south_edges, false),
             east: DirIndex::build(&east_edges, true),
             west: DirIndex::build(&west_edges, false),
+        }
+    }
+
+    /// Is the open axis-parallel segment `a`–`b` free of obstacle interiors,
+    /// **assuming `a` is not strictly inside an obstacle**?  One ray shot:
+    /// the segment is clear iff the first obstacle in its direction is at
+    /// least `|ab|` away.  Callers that cannot guarantee the precondition
+    /// must use [`ObstacleIndex::segment_clear`](crate::ObstacleIndex::segment_clear),
+    /// which adds the containment test (an obstacle surrounding `a` has no
+    /// facing edge ahead of the ray and would be invisible here).
+    pub fn segment_clear_from_outside(&self, a: Point, b: Point) -> bool {
+        if a == b {
+            return true;
+        }
+        let dir = if a.x == b.x {
+            if b.y > a.y {
+                Dir::North
+            } else {
+                Dir::South
+            }
+        } else {
+            debug_assert_eq!(a.y, b.y, "segment must be axis-parallel");
+            if b.x > a.x {
+                Dir::East
+            } else {
+                Dir::West
+            }
+        };
+        match self.shoot(a, dir) {
+            None => true,
+            Some(hit) => hit.distance_from(a) >= a.l1(b),
         }
     }
 

@@ -288,11 +288,20 @@ impl ObstacleSet {
     }
 
     /// Is `p` strictly inside some obstacle?  Returns the obstacle id.
+    ///
+    /// `O(n)` reference scan; query hot paths use the logarithmic
+    /// [`ObstacleIndex`](crate::ObstacleIndex) instead (same answers,
+    /// property-pinned).
     pub fn containing_obstacle(&self, p: Point) -> Option<RectId> {
         self.rects.iter().position(|r| r.contains_open(p))
     }
 
     /// Is the open axis-parallel segment `a`–`b` free of obstacle interiors?
+    ///
+    /// `O(n)` reference scan; query hot paths use
+    /// [`ObstacleIndex::segment_clear`](crate::ObstacleIndex::segment_clear),
+    /// which pins the same semantics behind one containment probe plus one
+    /// ray shot.
     pub fn segment_clear(&self, a: Point, b: Point) -> bool {
         self.rects.iter().all(|r| !r.blocks_segment(a, b))
     }

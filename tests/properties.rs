@@ -7,9 +7,9 @@ use rectilinear_shortest_paths::core::separator::find_separator_unbounded;
 use rectilinear_shortest_paths::core::seq::SingleSourceEngine;
 use rectilinear_shortest_paths::core::trace::chain_avoids_obstacles;
 use rectilinear_shortest_paths::geom::hanan::ground_truth_distance;
-use rectilinear_shortest_paths::geom::{ObstacleSet, Point, Rect};
+use rectilinear_shortest_paths::geom::{Chain, ObstacleIndex, ObstacleSet, Point, Rect};
 use rectilinear_shortest_paths::monge::{is_monge, min_plus_naive, min_plus_parallel, MinPlusMatrix};
-use rectilinear_shortest_paths::workload::uniform_disjoint;
+use rectilinear_shortest_paths::workload::{clustered, corridors, uniform_disjoint};
 
 /// Strategy: a set of disjoint rectangles on a coarse grid.
 fn obstacles_strategy(max_n: usize) -> impl Strategy<Value = ObstacleSet> {
@@ -95,6 +95,83 @@ proptest! {
         prop_assert_eq!(oracle.distance(a, a), 0);
         for &m in obs.vertices().iter().take(6) {
             prop_assert!(d_ab <= oracle.distance(a, m) + oracle.distance(m, b));
+        }
+    }
+
+    /// The staircase binary search behind `Chain::intersect_*` agrees with
+    /// the linear reference scan on random monotone staircases, across every
+    /// vertex coordinate, the gaps between them, and points beyond the ends.
+    #[test]
+    fn staircase_line_intersections_match_linear_scan(
+        xs in sorted_coords(40),
+        ys in sorted_coords(40),
+        decreasing in any::<bool>(),
+    ) {
+        let mut xs = xs;
+        let mut ys = ys;
+        xs.dedup();
+        ys.dedup();
+        let k = xs.len().min(ys.len());
+        prop_assume!(k >= 2);
+        let mut pts = Vec::with_capacity(2 * k);
+        for i in 0..k {
+            let y = if decreasing { -ys[i] } else { ys[i] };
+            pts.push(Point::new(xs[i], y));
+            if i + 1 < k {
+                pts.push(Point::new(xs[i + 1], y));
+            }
+        }
+        let chain = Chain::new(pts);
+        prop_assert!(chain.is_staircase());
+        let mut probes: Vec<i64> = xs.iter().chain(ys.iter()).flat_map(|&c| [c - 1, c, c + 1, -c]).collect();
+        probes.push(-301);
+        probes.push(301);
+        for &c in &probes {
+            prop_assert_eq!(chain.intersect_vertical(c), chain.intersect_vertical_linear(c));
+            prop_assert_eq!(chain.intersect_horizontal(c), chain.intersect_horizontal_linear(c));
+        }
+    }
+
+    /// `ObstacleIndex` containment and segment clearance agree with the
+    /// naive `ObstacleSet` scans on all three seeded scene families,
+    /// including probes strictly inside obstacles (where the two historical
+    /// `segment_clear` implementations used to disagree).
+    #[test]
+    fn obstacle_index_matches_naive_scans(kind in 0usize..3, n in 2usize..24, seed in any::<u64>()) {
+        let obs = match kind {
+            0 => uniform_disjoint(n, seed).obstacles,
+            1 => clustered(n, 3, seed).obstacles,
+            _ => corridors(n.min(10), 40, seed).obstacles,
+        };
+        prop_assume!(!obs.is_empty());
+        let index = ObstacleIndex::build(&obs);
+        let bbox = obs.bbox().unwrap();
+        let step = ((bbox.width().max(bbox.height())) / 9).max(1);
+        let mut probes = Vec::new();
+        for r in obs.iter().take(6) {
+            probes.push(r.center());
+            probes.push(r.ll());
+            probes.push(Point::new(r.xmin, (r.ymin + r.ymax) / 2));
+        }
+        let mut x = bbox.xmin - 2;
+        while x <= bbox.xmax + 2 {
+            let mut y = bbox.ymin - 2;
+            while y <= bbox.ymax + 2 {
+                probes.push(Point::new(x, y));
+                y += step;
+            }
+            x += step;
+        }
+        for &p in &probes {
+            prop_assert_eq!(index.containing_obstacle(p), obs.containing_obstacle(p));
+        }
+        for (i, &a) in probes.iter().enumerate() {
+            for &b in probes.iter().skip(i) {
+                if a.x != b.x && a.y != b.y {
+                    continue;
+                }
+                prop_assert_eq!(index.segment_clear(a, b), obs.segment_clear(a, b));
+            }
         }
     }
 }
