@@ -1,0 +1,73 @@
+//! E11 — time-vs-p at fixed problem size, now that the vendored rayon is a
+//! real work-stealing scheduler.  Where E9 sweeps the builders, E11 pins
+//! the two parallel kernels the paper's speedup claims rest on — the Monge
+//! (min,+) product (Lemmas 3-5) and the vertex-to-vertex oracle build — at
+//! one `n` each, and varies only the worker count.  The p=1 over p=max
+//! ratio is the workspace's measured parallel speedup; the sequential shim
+//! this scheduler replaced held that ratio at exactly 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsp_core::apsp::VertexApsp;
+use rsp_monge::monge::distance_monge;
+use rsp_monge::multiply::min_plus_parallel;
+use rsp_pram::pool::run_on_pool;
+use rsp_workload::uniform_disjoint;
+
+fn monge_factors(n: usize, seed: u64) -> (rsp_monge::MinPlusMatrix, rsp_monge::MinPlusMatrix) {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coords = |k: usize| {
+        let mut v: Vec<i64> = (0..k).map(|_| rng.gen_range(-10_000..10_000)).collect();
+        v.sort();
+        v
+    };
+    let xs = coords(n);
+    let ys = coords(n);
+    let zs = coords(n);
+    (distance_monge(&xs, &ys, 17), distance_monge(&ys, &zs, 11))
+}
+
+/// Thread counts: 1, 2, then doubling up to the machine width, always
+/// including the width itself so the p=1 vs p=max ratio is on the chart.
+/// p=2 is measured even on a single-core machine — there it quantifies the
+/// scheduler's oversubscription overhead instead of speedup.
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let mut counts = vec![1usize, 2];
+    let mut p = 4;
+    while p < max {
+        counts.push(p);
+        p *= 2;
+    }
+    if max > 2 {
+        counts.push(max);
+    }
+    counts
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_thread_scaling");
+    group.sample_size(10);
+
+    // Kernel 1: the parallel Monge (min,+) product at fixed n = 512
+    // (column-parallel SMAWK, ~8 pieces per worker).
+    let (a, b) = monge_factors(512, 3);
+    for &p in &thread_counts() {
+        group.bench_with_input(BenchmarkId::new("monge_parallel_n512", p), &p, |bch, &p| {
+            bch.iter(|| run_on_pool(p, || min_plus_parallel(&a, &b)))
+        });
+    }
+
+    // Kernel 2: the oracle build (per-vertex shortest-path fan-out) on a
+    // fixed 96-obstacle scene.
+    let w = uniform_disjoint(96, 21);
+    for &p in &thread_counts() {
+        group.bench_with_input(BenchmarkId::new("oracle_build_n96", p), &p, |bch, &p| {
+            bch.iter(|| run_on_pool(p, || VertexApsp::build(&w.obstacles).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,9 +2,9 @@
 //!
 //! Experiment E9 measures wall-clock speedup of the construction algorithms
 //! as a function of the number of processors `p` — the empirical counterpart
-//! of Brent's theorem.  This module wraps rayon's scoped thread pools so a
-//! closure (and every rayon parallel iterator it spawns) runs on exactly `p`
-//! workers.
+//! of Brent's theorem.  This module wraps rayon thread pools so a closure
+//! (and every rayon `join`/parallel iterator it spawns) runs on exactly `p`
+//! workers of a dedicated work-stealing pool.
 
 /// Run `f` on a dedicated rayon pool with exactly `threads` workers and
 /// return its result.

@@ -1,0 +1,131 @@
+//! Determinism certification for the work-stealing scheduler: every Router
+//! engine must return **bitwise-identical** distances and paths no matter
+//! how many worker threads serve the session.  This is what licenses the
+//! parallel engines as drop-in replacements for the sequential one — any
+//! scheduling-order leak (a non-associative reduction, an
+//! iteration-order-dependent tie-break, a racy write) shows up here as a
+//! cross-thread-count diff.
+//!
+//! Seeded scenes cover the three workload families (uniform, clustered,
+//! corridors); a property-based sweep then fuzzes scene shape and mixed
+//! vertex/arbitrary batches.
+
+use proptest::prelude::*;
+use rectilinear_shortest_paths::workload::{clustered, corridors, query_pairs, uniform_disjoint};
+use rectilinear_shortest_paths::{Dist, Engine, ObstacleSet, Point, RectiPath, Router};
+
+/// Thread counts under test: sequential, minimal parallelism, and the full
+/// machine (deduplicated on small machines).
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).max(2);
+    let mut counts = vec![1, 2, max];
+    counts.dedup();
+    counts
+}
+
+/// A deliberately mixed batch: arbitrary free pairs, vertex pairs, and
+/// half-snapped pairs, interleaved.
+fn mixed_batch(obstacles: &ObstacleSet, seed: u64) -> Vec<(Point, Point)> {
+    let mut pairs = query_pairs(obstacles, 12, false, seed);
+    pairs.extend(query_pairs(obstacles, 12, true, seed + 1));
+    let verts = obstacles.vertices();
+    if !verts.is_empty() {
+        for (i, &(a, _)) in query_pairs(obstacles, 6, false, seed + 2).iter().enumerate() {
+            pairs.push((a, verts[(i * 7) % verts.len()]));
+        }
+    }
+    pairs
+}
+
+/// Distances and paths served by one engine at one thread count.
+fn serve(
+    obstacles: &ObstacleSet,
+    engine: Engine,
+    threads: usize,
+    pairs: &[(Point, Point)],
+    vertex_pairs: &[(Point, Point)],
+) -> (Vec<Dist>, Vec<RectiPath>) {
+    let router = Router::builder(obstacles.clone()).engine(engine).threads(threads).build().expect("valid scene");
+    let distances = router.distances(pairs).expect("distance batch");
+    let paths = router.paths(vertex_pairs).expect("path batch");
+    (distances, paths)
+}
+
+#[test]
+fn every_engine_is_bitwise_deterministic_across_thread_counts() {
+    let scenes = [
+        ("uniform", uniform_disjoint(7, 4).obstacles),
+        ("clustered", clustered(6, 2, 9).obstacles),
+        ("corridors", corridors(3, 40, 11).obstacles),
+    ];
+    for (name, obstacles) in scenes {
+        let pairs = mixed_batch(&obstacles, 77);
+        let vertex_pairs = query_pairs(&obstacles, 10, true, 99);
+        for engine in [Engine::Sequential, Engine::DivideAndConquer, Engine::HananBaseline] {
+            let mut reference: Option<(Vec<Dist>, Vec<RectiPath>)> = None;
+            for threads in thread_counts() {
+                let result = serve(&obstacles, engine, threads, &pairs, &vertex_pairs);
+                match &reference {
+                    None => reference = Some(result),
+                    Some((dist0, paths0)) => {
+                        assert_eq!(&result.0, dist0, "{name}/{engine:?}: distances diverge at {threads} threads");
+                        assert_eq!(&result.1, paths0, "{name}/{engine:?}: paths diverge at {threads} threads");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `Engine::Auto` resolves to different engines at different thread counts
+/// (Sequential at 1, DivideAndConquer otherwise), so paths may legitimately
+/// differ in shape — but distances are ground truth and must agree, and
+/// every path must certify the same length.
+#[test]
+fn auto_engine_distances_agree_across_thread_counts() {
+    let obstacles = uniform_disjoint(8, 21).obstacles;
+    let pairs = mixed_batch(&obstacles, 13);
+    let vertex_pairs = query_pairs(&obstacles, 8, true, 5);
+    let mut reference: Option<Vec<Dist>> = None;
+    for threads in thread_counts() {
+        let router =
+            Router::builder(obstacles.clone()).engine(Engine::Auto).threads(threads).build().expect("valid scene");
+        let distances = router.distances(&pairs).expect("distance batch");
+        match &reference {
+            None => reference = Some(distances),
+            Some(dist0) => assert_eq!(&distances, dist0, "Auto: distances diverge at {threads} threads"),
+        }
+        for &(s, t) in &vertex_pairs {
+            let expect = router.vertex_distance(s, t).unwrap();
+            let path = router.path(s, t).unwrap();
+            assert!(path.certifies(&obstacles, s, t, expect), "Auto/{threads} threads: path fails to certify");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Fuzzed scenes and batches: for every engine, a 2-thread and a
+    /// max-thread session must reproduce the single-thread session bit for
+    /// bit (distances and vertex-pair paths).
+    #[test]
+    fn engines_reproduce_single_thread_results_on_random_scenes(
+        n in 2usize..7,
+        scene_seed in any::<u64>(),
+        batch_seed in any::<u64>(),
+    ) {
+        let obstacles = uniform_disjoint(n, scene_seed).obstacles;
+        let pairs = mixed_batch(&obstacles, batch_seed);
+        let vertex_pairs = query_pairs(&obstacles, 6, true, batch_seed + 7);
+        prop_assume!(!pairs.is_empty());
+        for engine in [Engine::Sequential, Engine::DivideAndConquer, Engine::HananBaseline] {
+            let baseline = serve(&obstacles, engine, 1, &pairs, &vertex_pairs);
+            for threads in thread_counts().into_iter().skip(1) {
+                let parallel = serve(&obstacles, engine, threads, &pairs, &vertex_pairs);
+                prop_assert_eq!(&parallel.0, &baseline.0);
+                prop_assert_eq!(&parallel.1, &baseline.1);
+            }
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Work-stealing deques (`crossbeam::deque`): the Chase–Lev dynamic circular
+//! deque, plus a mutex-guarded FIFO [`Injector`] for external submissions.
+//!
+//! One thread — the **owner** — holds the [`Worker`] and pushes/pops at the
+//! *bottom* end in LIFO order (LIFO keeps the hot task's working set in
+//! cache).  Any number of other threads hold [`Stealer`] handles and remove
+//! elements from the *top* end in FIFO order (FIFO steals the oldest — and
+//! in a divide-and-conquer workload the largest — piece of work).
+//!
+//! The algorithm is Chase & Lev, *Dynamic Circular Work-Stealing Deque*
+//! (SPAA 2005), with the explicit memory orderings of Lê, Pop, Cocchi &
+//! Zappa Nardelli, *Correct and Efficient Work-Stealing for Weak Memory
+//! Models* (PPoPP 2013) — the same lineage as upstream `crossbeam-deque`:
+//!
+//! * `push` writes the element, then publishes `bottom` with a release
+//!   store, so a stealer that acquires `bottom` sees the element bytes;
+//! * `pop` reserves the bottom slot, then a `SeqCst` fence orders the
+//!   reservation against concurrent steals before `top` is re-read; the
+//!   *last* element is raced for with a CAS on `top`;
+//! * `steal` reads the element *before* CASing `top`; on CAS failure the
+//!   possibly-torn bytes are abandoned as `MaybeUninit` without ever
+//!   materialising a `T`, so the read is safe for any `T: Send`.
+//!
+//! When the circular buffer fills up it is doubled.  Retired buffers cannot
+//! be freed immediately — a stealer may still be reading the old allocation —
+//! so they are parked in a retirement list and reclaimed when the deque
+//! itself is dropped (bounded: a deque that grew to capacity `2^k` retires
+//! at most `k` buffers whose sizes sum to less than the final buffer's).
+//! This trades peak memory for not needing an epoch/hazard-pointer scheme.
+
+use crate::utils::CachePadded;
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The result of a steal attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The source was observed empty.
+    Empty,
+    /// Lost a race with the owner or another stealer; retrying may succeed.
+    Retry,
+    /// Took this element.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// The stolen element, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Growable circular buffer; slots are `MaybeUninit` because liveness is
+/// tracked externally by the `top`/`bottom` indices.
+struct Buffer<T> {
+    mask: isize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(cap: usize) -> Box<Buffer<T>> {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+        Box::new(Buffer { mask: cap as isize - 1, slots })
+    }
+
+    fn cap(&self) -> isize {
+        self.mask + 1
+    }
+
+    unsafe fn write(&self, index: isize, value: T) {
+        (*self.slots[(index & self.mask) as usize].get()).write(value);
+    }
+
+    /// Copy out the slot's bytes without asserting initialisation — the
+    /// caller decides (post-CAS) whether they denote a live `T`.
+    unsafe fn read_raw(&self, index: isize) -> MaybeUninit<T> {
+        std::ptr::read(self.slots[(index & self.mask) as usize].get())
+    }
+}
+
+struct Inner<T> {
+    /// Stealers' end.  `top <= bottom` except transiently during `pop`.
+    top: CachePadded<AtomicIsize>,
+    /// Owner's end.
+    bottom: CachePadded<AtomicIsize>,
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers replaced by `grow`, freed on drop (see module docs).
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+// The raw pointers all point at heap allocations owned by this Inner; the
+// Chase–Lev protocol (plus `Worker` being single-owner) governs element
+// access, so sharing Inner across threads is sound whenever T may move
+// between threads.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Exclusive access now: drop live elements, then every allocation.
+        let top = self.top.load(Ordering::Relaxed);
+        let bottom = self.bottom.load(Ordering::Relaxed);
+        let buffer = *self.buffer.get_mut();
+        unsafe {
+            for i in top..bottom {
+                drop((*buffer).read_raw(i).assume_init());
+            }
+            drop(Box::from_raw(buffer));
+            for stale in self.retired.get_mut().unwrap().drain(..) {
+                drop(Box::from_raw(stale));
+            }
+        }
+    }
+}
+
+/// The owning (single-thread) handle of a work-stealing deque.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    /// `Worker` is `Send` but deliberately `!Sync`: pushes and pops must
+    /// come from one thread at a time.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+unsafe impl<T: Send> Send for Worker<T> {}
+
+/// A shared handle that removes elements from the opposite end of a
+/// [`Worker`]'s deque.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+unsafe impl<T: Send> Send for Stealer<T> {}
+unsafe impl<T: Send> Sync for Stealer<T> {}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Default for Worker<T> {
+    fn default() -> Self {
+        Worker::new()
+    }
+}
+
+impl<T> Worker<T> {
+    /// New empty deque (LIFO for the owner, like `Worker::new_lifo()`
+    /// upstream — the order a depth-first `join` scheduler wants).
+    pub fn new() -> Worker<T> {
+        let buffer = Box::into_raw(Buffer::alloc(64));
+        let inner = Arc::new(Inner {
+            top: CachePadded::new(AtomicIsize::new(0)),
+            bottom: CachePadded::new(AtomicIsize::new(0)),
+            buffer: AtomicPtr::new(buffer),
+            retired: Mutex::new(Vec::new()),
+        });
+        Worker { inner, _not_sync: PhantomData }
+    }
+
+    /// A stealer handle for this deque (cloneable, shareable).
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+
+    /// True if the deque was observed empty.
+    pub fn is_empty(&self) -> bool {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        b - t <= 0
+    }
+
+    /// Push onto the owner's end.
+    pub fn push(&self, value: T) {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Acquire);
+        let mut buffer = self.inner.buffer.load(Ordering::Relaxed);
+        unsafe {
+            if b - t >= (*buffer).cap() {
+                self.grow(t, b);
+                buffer = self.inner.buffer.load(Ordering::Relaxed);
+            }
+            (*buffer).write(b, value);
+        }
+        fence(Ordering::Release);
+        self.inner.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Pop from the owner's end (the most recently pushed element).
+    pub fn pop(&self) -> Option<T> {
+        let b = self.inner.bottom.load(Ordering::Relaxed) - 1;
+        let buffer = self.inner.buffer.load(Ordering::Relaxed);
+        // Reserve the slot before looking at top: a stealer that reads the
+        // decremented bottom after the fence below will refuse the slot.
+        self.inner.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        let len = b - t;
+        if len < 0 {
+            // Was empty; restore.
+            self.inner.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let value = unsafe { (*buffer).read_raw(b) };
+        if len > 0 {
+            // More than one element: the slot is unambiguously ours.
+            return Some(unsafe { value.assume_init() });
+        }
+        // Exactly one element: race the stealers for it via top.
+        let won = self.inner.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_ok();
+        self.inner.bottom.store(b + 1, Ordering::Relaxed);
+        if won {
+            Some(unsafe { value.assume_init() })
+        } else {
+            // A stealer got it; `value` holds bytes it now owns — abandon
+            // them without dropping.
+            None
+        }
+    }
+
+    /// Double the buffer; only the owner calls this, with `t..b` live.
+    fn grow(&self, t: isize, b: isize) {
+        let old = self.inner.buffer.load(Ordering::Relaxed);
+        unsafe {
+            let new = Box::into_raw(Buffer::alloc(((*old).cap() as usize) * 2));
+            for i in t..b {
+                (*new).write(i, (*old).read_raw(i).assume_init());
+            }
+            self.inner.buffer.store(new, Ordering::Release);
+            self.inner.retired.lock().unwrap().push(old);
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// True if the deque was observed empty.
+    pub fn is_empty(&self) -> bool {
+        let t = self.inner.top.load(Ordering::Acquire);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        b - t <= 0
+    }
+
+    /// Try to steal the oldest element.
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        if b - t <= 0 {
+            return Steal::Empty;
+        }
+        let buffer = self.inner.buffer.load(Ordering::Acquire);
+        // Read before claiming; if the CAS fails these bytes may be torn,
+        // so they stay MaybeUninit and are simply abandoned.
+        let value = unsafe { (*buffer).read_raw(t) };
+        if self.inner.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_err() {
+            return Steal::Retry;
+        }
+        Steal::Success(unsafe { value.assume_init() })
+    }
+}
+
+/// A FIFO queue for submitting work from threads that own no [`Worker`]
+/// (rayon's "injector").  This stand-in guards a `VecDeque` with a mutex —
+/// external submission is rare (one per `ThreadPool::install`), so the lock
+/// is never contended enough to matter; the hot stealing path stays on the
+/// lock-free Chase–Lev deques.
+pub struct Injector<T> {
+    queue: Mutex<std::collections::VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// New empty queue.
+    pub fn new() -> Injector<T> {
+        Injector { queue: Mutex::new(std::collections::VecDeque::new()) }
+    }
+
+    /// Enqueue an element.
+    pub fn push(&self, value: T) {
+        self.queue.lock().unwrap().push_back(value);
+    }
+
+    /// Take the oldest element.  Never returns [`Steal::Retry`].
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().unwrap().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True if the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_pop_fifo_steal() {
+        let w: Worker<i32> = Worker::new();
+        let s = w.stealer();
+        assert!(w.is_empty() && s.is_empty());
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3), "owner pops the newest");
+        assert_eq!(s.steal(), Steal::Success(1), "stealer takes the oldest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn growth_preserves_order_and_content() {
+        let w: Worker<usize> = Worker::new();
+        for i in 0..10_000 {
+            // interleave so indices wrap the circular buffer
+            w.push(i);
+            if i % 3 == 0 {
+                assert_eq!(w.pop(), Some(i));
+            }
+        }
+        let mut seen = Vec::new();
+        while let Some(v) = w.pop() {
+            seen.push(v);
+        }
+        let mut expect: Vec<usize> = (0..10_000).filter(|i| i % 3 != 0).collect();
+        expect.reverse();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn drop_releases_undrained_elements() {
+        // Box elements so a leak or double-free shows up under the counter.
+        static LIVE: std::sync::atomic::AtomicIsize = std::sync::atomic::AtomicIsize::new(0);
+        struct Tracked;
+        impl Tracked {
+            fn new() -> Tracked {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Tracked
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let w: Worker<Tracked> = Worker::new();
+            for _ in 0..300 {
+                w.push(Tracked::new());
+            }
+            for _ in 0..100 {
+                drop(w.pop());
+            }
+            let s = w.stealer();
+            for _ in 0..50 {
+                drop(s.steal().success());
+            }
+            drop(s);
+        } // 150 still queued: freed by Inner::drop
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let q: Injector<u32> = Injector::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.steal(), Steal::Success(1));
+        assert_eq!(q.steal(), Steal::Success(2));
+        assert_eq!(q.steal(), Steal::Empty);
+        assert!(q.is_empty());
+    }
+}

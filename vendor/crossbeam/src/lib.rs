@@ -1,9 +1,22 @@
-//! Vendored minimal stand-in for the `crossbeam` crate (offline build).
+//! Vendored stand-in for the `crossbeam` crate (offline build).
 //!
-//! Only `crossbeam::atomic::AtomicCell` is used by this workspace (the
-//! work/depth counters in `rsp-pram`).  This implementation trades the real
-//! crate's lock-free fast paths for a plain mutex, which is semantically
-//! equivalent and more than fast enough for counters.
+//! Originally this stub carried only `atomic::AtomicCell` (the work/depth
+//! counters in `rsp-pram`).  It now also hosts the concurrency substrate of
+//! the workspace's real work-stealing scheduler (`vendor/rayon`):
+//!
+//! * [`deque`] — the Chase–Lev work-stealing deque (`Worker` / `Stealer` /
+//!   `Steal`) plus a FIFO `Injector` for external submissions, mirroring
+//!   upstream `crossbeam-deque`'s API;
+//! * [`utils`] — `CachePadded`, cache-line alignment for the deque indices.
+//!
+//! Deviations from upstream that matter: retired deque buffers are reclaimed
+//! on deque drop rather than through epoch-based GC, and `Injector` is a
+//! mutex-guarded queue rather than a lock-free one (see the module docs for
+//! why both are acceptable here).  `AtomicCell` remains a mutex-backed cell,
+//! semantically equivalent to upstream for the counter workloads that use it.
+
+pub mod deque;
+pub mod utils;
 
 /// Atomic cells.
 pub mod atomic {

@@ -1,0 +1,142 @@
+//! Contention stress tests for the Chase–Lev deque: under concurrent
+//! push/pop/steal every element must be delivered **exactly once** — no
+//! losses (an element vanishing) and no duplications (an element delivered
+//! to two consumers).  This is the certification the scheduler's correctness
+//! rests on, so it runs as a tier-1 test, sized to stay fast.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Owner pushes `total` distinct tokens while popping intermittently;
+/// stealer threads hammer the other end.  Each delivered token increments
+/// its slot in a shared tally; afterwards every slot must be exactly 1.
+#[test]
+fn no_loss_no_duplication_under_contention() {
+    let stealer_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).clamp(2, 8);
+    let total: usize = 100_000;
+    let tally: Arc<Vec<AtomicUsize>> = Arc::new((0..total).map(|_| AtomicUsize::new(0)).collect());
+    let done = Arc::new(AtomicBool::new(false));
+
+    let worker: Worker<usize> = Worker::new();
+    let handles: Vec<_> = (0..stealer_threads)
+        .map(|_| {
+            let stealer: Stealer<usize> = worker.stealer();
+            let tally = Arc::clone(&tally);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || loop {
+                match stealer.steal() {
+                    Steal::Success(token) => {
+                        tally[token].fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Retry => {}
+                    Steal::Empty => {
+                        if done.load(Ordering::Acquire) && stealer.is_empty() {
+                            return;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Sawtooth production: bursts of pushes with interleaved pops keep both
+    // ends and the last-element CAS race hot, and force buffer growth.
+    let mut next = 0usize;
+    while next < total {
+        let burst = 1 + next % 37;
+        for _ in 0..burst {
+            if next == total {
+                break;
+            }
+            worker.push(next);
+            next += 1;
+        }
+        for _ in 0..(burst / 2) {
+            if let Some(token) = worker.pop() {
+                tally[token].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    // Drain what the stealers leave behind.
+    while let Some(token) = worker.pop() {
+        tally[token].fetch_add(1, Ordering::Relaxed);
+    }
+    done.store(true, Ordering::Release);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let lost: Vec<usize> = (0..total).filter(|&i| tally[i].load(Ordering::Relaxed) == 0).collect();
+    let duplicated: Vec<usize> = (0..total).filter(|&i| tally[i].load(Ordering::Relaxed) > 1).collect();
+    assert!(lost.is_empty(), "{} tokens lost (first few: {:?})", lost.len(), &lost[..lost.len().min(8)]);
+    assert!(
+        duplicated.is_empty(),
+        "{} tokens duplicated (first few: {:?})",
+        duplicated.len(),
+        &duplicated[..duplicated.len().min(8)]
+    );
+}
+
+/// Several stealers racing over a deque that is *only* stolen from (owner
+/// pushes everything up front): exercises the steal/steal CAS race without
+/// owner interference, checking the same exactly-once property.
+#[test]
+fn pure_steal_race_is_exactly_once() {
+    let total: usize = 50_000;
+    let worker: Worker<usize> = Worker::new();
+    for i in 0..total {
+        worker.push(i);
+    }
+    let consumed = Arc::new(AtomicUsize::new(0));
+    let tally: Arc<Vec<AtomicUsize>> = Arc::new((0..total).map(|_| AtomicUsize::new(0)).collect());
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let stealer = worker.stealer();
+            let tally = Arc::clone(&tally);
+            let consumed = Arc::clone(&consumed);
+            std::thread::spawn(move || loop {
+                match stealer.steal() {
+                    Steal::Success(token) => {
+                        tally[token].fetch_add(1, Ordering::Relaxed);
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Retry => std::hint::spin_loop(),
+                    Steal::Empty => return,
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(consumed.load(Ordering::Relaxed), total);
+    assert!((0..total).all(|i| tally[i].load(Ordering::Relaxed) == 1));
+}
+
+/// The injector delivers exactly once under concurrent consumers too.
+#[test]
+fn injector_exactly_once() {
+    let total = 20_000usize;
+    let injector: Arc<Injector<usize>> = Arc::new(Injector::new());
+    for i in 0..total {
+        injector.push(i);
+    }
+    let tally: Arc<Vec<AtomicUsize>> = Arc::new((0..total).map(|_| AtomicUsize::new(0)).collect());
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let injector = Arc::clone(&injector);
+            let tally = Arc::clone(&tally);
+            std::thread::spawn(move || {
+                while let Steal::Success(token) = injector.steal() {
+                    tally[token].fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!((0..total).all(|i| tally[i].load(Ordering::Relaxed) == 1));
+}

@@ -1,0 +1,557 @@
+//! Parallel iterators over indexable sources.
+//!
+//! Instead of upstream rayon's producer/consumer plumbing, everything here
+//! is built on one abstraction: a [`Source`] is a `Send + Sync` view of `n`
+//! items addressable by index, with the contract that each index is read
+//! *at most once* (which is what lets a source hand out `&mut T` or owned
+//! `T` by index).  Adapters (`map`, `enumerate`, `zip`) wrap sources into
+//! sources; consumers (`for_each`, `collect`, `sum`, `any`) drive the
+//! index range through [`crate::join`]-based recursive binary splitting.
+//!
+//! Splitting policy: the range is halved until pieces are at most
+//! `len / (8 × threads)` (floor 1), then each leaf runs sequentially.  With
+//! one thread — or off-worker with a single-thread global pool — the whole
+//! range runs inline with no scheduling at all.  Consumers that *combine*
+//! results do so in a fixed tree shape independent of which thread ran
+//! which leaf, and `collect` writes each item at its own index, so results
+//! are bitwise identical across thread counts (pinned by the determinism
+//! suite in `tests/determinism.rs` at the workspace root).
+
+use crate::registry::{current_num_threads, run_in_pool};
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+// ---------------------------------------------------------------------------
+// The Source abstraction and the split driver
+// ---------------------------------------------------------------------------
+
+/// An indexable, thread-safe supply of `len()` items.
+///
+/// # Safety
+/// Implementors must guarantee that `get(i)` is sound for any `i < len()`
+/// from any thread, **provided each index is passed at most once** over the
+/// source's lifetime.  (Exclusive references and owned values rely on that
+/// exclusivity; shared references simply ignore it.)
+pub unsafe trait Source: Send + Sync {
+    /// The element produced for each index.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce the item at `index`.
+    ///
+    /// # Safety
+    /// `index < self.len()`, and no index may be requested twice.
+    unsafe fn get(&self, index: usize) -> Self::Item;
+}
+
+/// Largest leaf size for `n` items: aim for ~8 pieces per worker so theft
+/// balances uneven leaves, floor 1.  Returns `n` (i.e. "don't split") when
+/// the current pool is single-threaded.
+fn piece_len(n: usize) -> usize {
+    let threads = current_num_threads().max(1);
+    if threads <= 1 {
+        n.max(1)
+    } else {
+        (n / (threads * 8)).max(1)
+    }
+}
+
+/// Recursively split `lo..hi` down to `piece`, run `leaf` on each piece via
+/// `join`, and combine results with `merge` in the (deterministic) shape of
+/// the split tree.
+fn split_run<R, L, M>(lo: usize, hi: usize, piece: usize, leaf: &L, merge: &M) -> R
+where
+    R: Send,
+    L: Fn(usize, usize) -> R + Sync,
+    M: Fn(R, R) -> R + Sync,
+{
+    if hi - lo <= piece {
+        return leaf(lo, hi);
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (ra, rb) = crate::join(|| split_run(lo, mid, piece, leaf, merge), || split_run(mid, hi, piece, leaf, merge));
+    merge(ra, rb)
+}
+
+/// A raw pointer that may cross threads (used for indexed `collect` writes;
+/// disjointness comes from the at-most-once index contract).
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Accessor instead of field access, so closures capture the whole
+    /// wrapper (Send + Sync) rather than the raw-pointer field (neither).
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+// ---------------------------------------------------------------------------
+// The public parallel-iterator wrapper and its consumers
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator over a [`Source`].
+#[derive(Debug, Clone, Copy)]
+pub struct Par<S> {
+    source: S,
+}
+
+impl<S: Source> Par<S> {
+    pub(crate) fn new(source: S) -> Par<S> {
+        Par { source }
+    }
+
+    /// Transform each item with `f`.
+    pub fn map<R, F>(self, f: F) -> Par<MapSource<S, F>>
+    where
+        R: Send,
+        F: Fn(S::Item) -> R + Sync + Send,
+    {
+        Par::new(MapSource { base: self.source, f })
+    }
+
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> Par<EnumerateSource<S>> {
+        Par::new(EnumerateSource { base: self.source })
+    }
+
+    /// Pair items with another source's items positionally (length is the
+    /// minimum of the two).
+    pub fn zip<T>(self, other: T) -> Par<ZipSource<S, T::Source>>
+    where
+        T: IntoParallelIterator,
+    {
+        Par::new(ZipSource { a: self.source, b: other.into_par_iter().source })
+    }
+
+    /// Run `f` on every item, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(S::Item) + Sync + Send,
+    {
+        let source = self.source;
+        let n = source.len();
+        if n == 0 {
+            return;
+        }
+        run_in_pool(move || {
+            let piece = piece_len(n);
+            let leaf = |lo: usize, hi: usize| {
+                for i in lo..hi {
+                    // Safety: split_run hands each index to exactly one leaf.
+                    f(unsafe { source.get(i) });
+                }
+            };
+            if piece >= n {
+                leaf(0, n);
+            } else {
+                split_run(0, n, piece, &leaf, &|(), ()| ());
+            }
+        });
+    }
+
+    /// Collect the items into `C`, preserving index order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<S::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sum the items.  Leaves are summed left-to-right and combined in the
+    /// fixed split-tree shape, so integer results match the sequential sum
+    /// bit for bit.
+    pub fn sum<Out>(self) -> Out
+    where
+        Out: Send + std::iter::Sum<S::Item> + std::iter::Sum<Out>,
+    {
+        let source = self.source;
+        let n = source.len();
+        run_in_pool(move || {
+            let piece = piece_len(n.max(1));
+            let leaf = |lo: usize, hi: usize| -> Out {
+                // Safety: each index visited by exactly one leaf.
+                (lo..hi).map(|i| unsafe { source.get(i) }).sum()
+            };
+            if piece >= n {
+                leaf(0, n)
+            } else {
+                split_run(0, n, piece, &leaf, &|a, b| [a, b].into_iter().sum())
+            }
+        })
+    }
+
+    /// Does `f` hold for any item?  Leaves short-circuit through a shared
+    /// flag once a match is found anywhere.
+    pub fn any<F>(self, f: F) -> bool
+    where
+        F: Fn(S::Item) -> bool + Sync + Send,
+    {
+        let source = self.source;
+        let n = source.len();
+        if n == 0 {
+            return false;
+        }
+        run_in_pool(move || {
+            let piece = piece_len(n);
+            if piece >= n {
+                // Safety: sequential pass, each index once.
+                return (0..n).any(|i| f(unsafe { source.get(i) }));
+            }
+            let found = AtomicBool::new(false);
+            let leaf = |lo: usize, hi: usize| {
+                if !found.load(Ordering::Relaxed) {
+                    // Safety: each index visited by exactly one leaf.  Items
+                    // in skipped leaves are dropped unread, which the
+                    // at-most-once contract permits.
+                    if (lo..hi).any(|i| f(unsafe { source.get(i) })) {
+                        found.store(true, Ordering::Relaxed);
+                    }
+                }
+            };
+            split_run(0, n, piece, &leaf, &|(), ()| ());
+            found.load(Ordering::Relaxed)
+        })
+    }
+}
+
+/// Types constructible from a parallel iterator (the target of
+/// [`Par::collect`]).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build `Self` by consuming the iterator in parallel.
+    fn from_par_iter<S>(par: Par<S>) -> Self
+    where
+        S: Source<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<S>(par: Par<S>) -> Vec<T>
+    where
+        S: Source<Item = T>,
+    {
+        let source = par.source;
+        let n = source.len();
+        let mut out: Vec<T> = Vec::with_capacity(n);
+        let dst = SendPtr(out.as_mut_ptr());
+        run_in_pool(move || {
+            let piece = piece_len(n.max(1));
+            let leaf = |lo: usize, hi: usize| {
+                for i in lo..hi {
+                    // Safety: index handed out once; slot `i` of the
+                    // reserved buffer is written exactly once.
+                    unsafe { dst.get().add(i).write(source.get(i)) };
+                }
+            };
+            if piece >= n {
+                leaf(0, n);
+            } else {
+                split_run(0, n, piece, &leaf, &|(), ()| ());
+            }
+        });
+        // All n slots written (run_in_pool re-raises any panic before we
+        // get here, leaving `out` at len 0 — written items leak, safely).
+        unsafe { out.set_len(n) };
+        out
+    }
+}
+
+impl<K, V> FromParallelIterator<(K, V)> for std::collections::HashMap<K, V>
+where
+    K: std::hash::Hash + Eq + Send,
+    V: Send,
+{
+    fn from_par_iter<S>(par: Par<S>) -> std::collections::HashMap<K, V>
+    where
+        S: Source<Item = (K, V)>,
+    {
+        // Pairs are produced in parallel (preserving index order), the map
+        // is built sequentially — insertion order is deterministic, so maps
+        // with order-sensitive iteration would still match across runs.
+        let pairs: Vec<(K, V)> = par.collect();
+        pairs.into_iter().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// Source adapter for [`Par::map`].
+pub struct MapSource<S, F> {
+    base: S,
+    f: F,
+}
+
+unsafe impl<S, F, R> Source for MapSource<S, F>
+where
+    S: Source,
+    F: Fn(S::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    unsafe fn get(&self, index: usize) -> R {
+        (self.f)(self.base.get(index))
+    }
+}
+
+/// Source adapter for [`Par::enumerate`].
+pub struct EnumerateSource<S> {
+    base: S,
+}
+
+unsafe impl<S: Source> Source for EnumerateSource<S> {
+    type Item = (usize, S::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    unsafe fn get(&self, index: usize) -> (usize, S::Item) {
+        (index, self.base.get(index))
+    }
+}
+
+/// Source adapter for [`Par::zip`].
+pub struct ZipSource<A, B> {
+    a: A,
+    b: B,
+}
+
+unsafe impl<A: Source, B: Source> Source for ZipSource<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    unsafe fn get(&self, index: usize) -> (A::Item, B::Item) {
+        (self.a.get(index), self.b.get(index))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leaf sources: slices
+// ---------------------------------------------------------------------------
+
+/// Shared-reference view of a slice (`par_iter`).
+pub struct SliceSource<'a, T> {
+    pub(crate) slice: &'a [T],
+}
+
+unsafe impl<'a, T: Sync> Source for SliceSource<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    unsafe fn get(&self, index: usize) -> &'a T {
+        self.slice.get_unchecked(index)
+    }
+}
+
+/// Fixed-size chunk view of a slice (`par_chunks`).
+pub struct ChunksSource<'a, T> {
+    pub(crate) slice: &'a [T],
+    pub(crate) chunk: usize,
+}
+
+unsafe impl<'a, T: Sync> Source for ChunksSource<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    unsafe fn get(&self, index: usize) -> &'a [T] {
+        let lo = index * self.chunk;
+        let hi = (lo + self.chunk).min(self.slice.len());
+        self.slice.get_unchecked(lo..hi)
+    }
+}
+
+/// Exclusive per-element view of a slice (`par_iter_mut`).  Disjointness of
+/// the `&mut` handed out relies on the at-most-once index contract.
+pub struct IterMutSource<'a, T> {
+    pub(crate) ptr: *mut T,
+    pub(crate) len: usize,
+    pub(crate) marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for IterMutSource<'_, T> {}
+unsafe impl<T: Send> Sync for IterMutSource<'_, T> {}
+
+unsafe impl<'a, T: Send + 'a> Source for IterMutSource<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[allow(clippy::mut_from_ref)] // sound: each index is taken at most once
+    unsafe fn get(&self, index: usize) -> &'a mut T {
+        &mut *self.ptr.add(index)
+    }
+}
+
+/// Exclusive fixed-size chunk view of a slice (`par_chunks_mut`).
+pub struct ChunksMutSource<'a, T> {
+    pub(crate) ptr: *mut T,
+    pub(crate) len: usize,
+    pub(crate) chunk: usize,
+    pub(crate) marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for ChunksMutSource<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksMutSource<'_, T> {}
+
+unsafe impl<'a, T: Send + 'a> Source for ChunksMutSource<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+
+    #[allow(clippy::mut_from_ref)] // sound: chunks are disjoint, each taken once
+    unsafe fn get(&self, index: usize) -> &'a mut [T] {
+        let lo = index * self.chunk;
+        let hi = (lo + self.chunk).min(self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leaf sources: ranges and owned vectors
+// ---------------------------------------------------------------------------
+
+/// Integer types whose `Range` can be parallel-iterated.
+pub trait RangeInt: Copy + Send + Sync {
+    /// `self + n`, where `n` is known to stay within the original range.
+    fn offset(self, n: usize) -> Self;
+    /// `max(end - start, 0)` as a `usize`.
+    fn span(start: Self, end: Self) -> usize;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            fn offset(self, n: usize) -> $t {
+                self + n as $t
+            }
+            fn span(start: $t, end: $t) -> usize {
+                if end > start { (end - start) as usize } else { 0 }
+            }
+        }
+    )*};
+}
+
+impl_range_int!(usize, u64, u32, u16, isize, i64, i32, i16);
+
+/// Parallel view of an integer range (`(a..b).into_par_iter()`).
+pub struct RangeSource<T> {
+    start: T,
+    len: usize,
+}
+
+unsafe impl<T: RangeInt> Source for RangeSource<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn get(&self, index: usize) -> T {
+        self.start.offset(index)
+    }
+}
+
+/// Owning source over a `Vec` (`vec.into_par_iter()`): elements are moved
+/// out by index; the vector keeps the allocation alive at length zero.  If
+/// a consumer panics, items not yet read leak (they are never dropped) —
+/// safe, and the same trade upstream's drain-style plumbing avoids with
+/// machinery we don't need here.
+pub struct VecSource<T> {
+    ptr: *const T,
+    len: usize,
+    _own: Vec<T>,
+}
+
+unsafe impl<T: Send> Send for VecSource<T> {}
+unsafe impl<T: Send> Sync for VecSource<T> {}
+
+unsafe impl<T: Send> Source for VecSource<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn get(&self, index: usize) -> T {
+        std::ptr::read(self.ptr.add(index))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IntoParallelIterator
+// ---------------------------------------------------------------------------
+
+/// Conversion into a parallel iterator (ranges, owned vectors; slices get
+/// their own traits in [`crate::slice`]).
+pub trait IntoParallelIterator {
+    /// The underlying indexable source.
+    type Source: Source;
+
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> Par<Self::Source>;
+}
+
+impl<S: Source> IntoParallelIterator for Par<S> {
+    type Source = S;
+
+    fn into_par_iter(self) -> Par<S> {
+        self
+    }
+}
+
+impl<T: RangeInt> IntoParallelIterator for Range<T> {
+    type Source = RangeSource<T>;
+
+    fn into_par_iter(self) -> Par<RangeSource<T>> {
+        let len = T::span(self.start, self.end);
+        Par::new(RangeSource { start: self.start, len })
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Source = VecSource<T>;
+
+    fn into_par_iter(mut self) -> Par<VecSource<T>> {
+        let ptr = self.as_ptr();
+        let len = self.len();
+        // Move ownership of the elements to the source; the Vec (moved into
+        // `_own`, buffer address unchanged) only frees the allocation.
+        unsafe { self.set_len(0) };
+        Par::new(VecSource { ptr, len, _own: self })
+    }
+}

@@ -1,99 +1,52 @@
-//! Vendored minimal stand-in for the `rayon` crate (offline build).
+//! Vendored work-stealing stand-in for the `rayon` crate (offline build).
 //!
 //! The build environment cannot fetch crates.io, so this crate provides the
-//! slice of rayon's API the workspace uses, with rayon's *semantics* (the
-//! observable results are identical to a sequential execution) but not its
-//! scheduler:
+//! slice of rayon's API the workspace uses — and, since PR 6, rayon's
+//! *execution model* too, not just its semantics:
 //!
-//! * parallel iterators (`par_iter`, `into_par_iter`, `par_chunks_mut`, ...)
-//!   are thin wrappers over the corresponding sequential iterators — every
-//!   adapter (`map`, `zip`, `sum`, `collect`, ...) is inherited from
-//!   [`Iterator`];
-//! * [`join`] runs its two closures on real OS threads (bounded by a global
-//!   cap), so divide-and-conquer code does execute in parallel;
-//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] record the requested
-//!   worker count so [`current_num_threads`] reports it, which is what the
-//!   E9 scaling harness observes.
+//! * a lazily-spawned global [`ThreadPool`] plus explicit pools built with
+//!   [`ThreadPoolBuilder`], each a set of worker threads with per-worker
+//!   Chase–Lev deques (hosted in the vendored `crossbeam`) and a shared
+//!   injector for jobs arriving from outside the pool;
+//! * [`join`] publishes its second closure for theft, runs the first
+//!   inline, and *steals other work while waiting* if the second was taken
+//!   — panics propagate to the caller via [`std::panic::resume_unwind`];
+//! * parallel iterators (`par_iter`, `into_par_iter`, `par_chunks_mut`,
+//!   ...) fan out through recursive binary splitting over an indexable
+//!   [`iter::Source`], so `map`/`collect`/`sum`/`for_each` genuinely run on
+//!   multiple workers while producing bitwise-identical results at every
+//!   thread count (pieces and combination trees depend only on the input
+//!   length);
+//! * `par_sort*` is a parallel *stable* merge sort.
 //!
-//! Replacing this shim with the real rayon (once dependencies can be
-//! vendored) is tracked in ROADMAP.md; no caller-visible API changes will be
-//! needed.
+//! The worker count of the global pool honours the upstream
+//! `RAYON_NUM_THREADS` environment variable (the CI thread-count matrix
+//! sets it), defaulting to the hardware parallelism.
+//!
+//! Swapping in the real rayon later is a `Cargo.toml` change: the public
+//! names used by the workspace (`join`, `prelude::*`, `ThreadPoolBuilder`,
+//! `current_num_threads`) keep upstream's signatures.
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+pub mod iter;
+mod registry;
+pub mod slice;
 
-thread_local! {
-    static CURRENT_POOL_SIZE: Cell<Option<usize>> = const { Cell::new(None) };
-}
+pub use iter::{FromParallelIterator, IntoParallelIterator, Par};
+pub use registry::{current_num_threads, join};
+pub use slice::{ParallelSlice, ParallelSliceMut};
 
-static ACTIVE_JOIN_THREADS: AtomicUsize = AtomicUsize::new(0);
+use registry::{on_worker_of, Registry};
+use std::sync::Arc;
 
-fn hardware_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-/// Number of worker threads of the current pool (the installed pool size, or
-/// the hardware parallelism outside any [`ThreadPool::install`]).
-pub fn current_num_threads() -> usize {
-    CURRENT_POOL_SIZE.with(|c| c.get()).unwrap_or_else(hardware_threads)
-}
-
-/// Decrements [`ACTIVE_JOIN_THREADS`] on drop, so a panic unwinding out of
-/// [`join`] cannot leak the reservation and serialise later joins.
-struct JoinSlot;
-
-impl Drop for JoinSlot {
-    fn drop(&mut self) {
-        ACTIVE_JOIN_THREADS.fetch_sub(1, Ordering::Relaxed);
-    }
-}
-
-/// Run `a` and `b`, potentially in parallel, and return both results.
-///
-/// `b` runs on a freshly spawned scoped thread unless the current pool
-/// (the installed [`ThreadPool`] size, or the hardware parallelism) is 1 or
-/// the global thread cap is reached; then both run sequentially on the
-/// caller.  The cap scales with the pool size so `run_on_pool(p, ...)`-style
-/// harnesses get a real independent variable.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA + Send,
-    B: FnOnce() -> RB + Send,
-    RA: Send,
-    RB: Send,
-{
-    let pool_threads = current_num_threads();
-    if pool_threads <= 1 {
-        let ra = a();
-        let rb = b();
-        return (ra, rb);
-    }
-    let cap = pool_threads * 2;
-    if ACTIVE_JOIN_THREADS.fetch_add(1, Ordering::Relaxed) >= cap {
-        ACTIVE_JOIN_THREADS.fetch_sub(1, Ordering::Relaxed);
-        let ra = a();
-        let rb = b();
-        return (ra, rb);
-    }
-    let _slot = JoinSlot;
-    let pool_size = CURRENT_POOL_SIZE.with(|c| c.get());
-    std::thread::scope(|scope| {
-        let hb = scope.spawn(move || {
-            CURRENT_POOL_SIZE.with(|c| c.set(pool_size));
-            b()
-        });
-        let ra = a();
-        (ra, hb.join().expect("rayon::join: worker panicked"))
-    })
-}
-
-/// Error type returned by [`ThreadPoolBuilder::build`] (never produced here).
+/// Error type returned by [`ThreadPoolBuilder::build`].
 #[derive(Debug)]
-pub struct ThreadPoolBuildError;
+pub struct ThreadPoolBuildError {
+    message: String,
+}
 
 impl std::fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "thread pool build error")
+        write!(f, "thread pool build error: {}", self.message)
     }
 }
 
@@ -111,135 +64,75 @@ impl ThreadPoolBuilder {
         ThreadPoolBuilder::default()
     }
 
-    /// Request exactly `n` worker threads.
+    /// Request exactly `n` worker threads (0 means "use the default": the
+    /// `RAYON_NUM_THREADS` environment variable or the hardware
+    /// parallelism — upstream's convention).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = Some(n);
         self
     }
 
-    /// Build the pool.
+    /// Spawn the pool's worker threads and return the pool.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { num_threads: self.num_threads.unwrap_or_else(hardware_threads).max(1) })
+        let n = self.num_threads.filter(|&n| n > 0).unwrap_or_else(registry::default_num_threads);
+        let (registry, handles) = Registry::spawn(n);
+        Ok(ThreadPool { registry, handles })
     }
 }
 
-/// A pool with a fixed worker count; [`ThreadPool::install`] scopes
-/// [`current_num_threads`] to that count.
-#[derive(Debug)]
+/// A fixed set of worker threads.  [`ThreadPool::install`] runs a closure
+/// *on* the pool (not merely "scoped to it"): `join`s and parallel
+/// iterators inside the closure execute on this pool's workers.  Dropping
+/// the pool shuts the workers down (after they drain outstanding work).
 pub struct ThreadPool {
-    num_threads: usize,
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("num_threads", &self.registry.num_threads).finish()
+    }
 }
 
 impl ThreadPool {
-    /// Run `f` "inside" the pool: `current_num_threads()` reports this pool's
-    /// size for the duration of the call (restored even if `f` panics).
-    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        struct Restore(Option<usize>);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                let prev = self.0;
-                CURRENT_POOL_SIZE.with(|c| c.set(prev));
-            }
+    /// Run `f` inside the pool and return its result.  If the calling
+    /// thread already belongs to this pool the closure runs inline;
+    /// otherwise it is injected and the caller blocks until a worker
+    /// finishes it.  A panic in `f` is re-raised on the caller.
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if on_worker_of(&self.registry) {
+            f()
+        } else {
+            self.registry.in_worker(f)
         }
-        let _restore = Restore(CURRENT_POOL_SIZE.with(|c| c.replace(Some(self.num_threads))));
-        f()
     }
 
     /// This pool's worker count.
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.registry.num_threads
     }
 }
 
-/// A "parallel" iterator: a newtype over a sequential iterator.  All of
-/// [`Iterator`]'s adapters and consumers apply.
-pub struct Par<I>(pub I);
-
-impl<I: Iterator> Iterator for Par<I> {
-    type Item = I::Item;
-
-    fn next(&mut self) -> Option<I::Item> {
-        self.0.next()
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.0.size_hint()
-    }
-}
-
-/// Conversion into a parallel iterator (blanket over [`IntoIterator`], which
-/// covers `Vec<T>`, ranges, `Option`, ...).
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// Wrap `self` in a [`Par`] iterator.
-    fn into_par_iter(self) -> Par<Self::IntoIter> {
-        Par(self.into_iter())
-    }
-}
-
-impl<T: IntoIterator> IntoParallelIterator for T {}
-
-/// Parallel read access to slices (and, via deref, `Vec<T>`).
-pub trait ParallelSlice<T> {
-    /// Parallel iterator over `&T`.
-    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
-    /// Parallel iterator over non-overlapping chunks.
-    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
-        Par(self.iter())
-    }
-
-    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
-        Par(self.chunks(chunk_size))
-    }
-}
-
-/// Parallel mutable access to slices.
-pub trait ParallelSliceMut<T> {
-    /// Parallel iterator over `&mut T`.
-    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
-    /// Parallel iterator over non-overlapping mutable chunks.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
-    /// Stable sort (rayon's `par_sort` is stable).
-    fn par_sort(&mut self)
-    where
-        T: Ord;
-    /// Stable sort by key.
-    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
-    /// Stable sort by comparator.
-    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, cmp: F);
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
-        Par(self.iter_mut())
-    }
-
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
-        Par(self.chunks_mut(chunk_size))
-    }
-
-    fn par_sort(&mut self)
-    where
-        T: Ord,
-    {
-        self.sort();
-    }
-
-    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
-        self.sort_by_key(key);
-    }
-
-    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, cmp: F) {
-        self.sort_by(cmp);
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.request_terminate();
+        for handle in self.handles.drain(..) {
+            // Worker loops catch job panics, so join only fails if a worker
+            // aborted some other way; surfacing that loudly is correct.
+            handle.join().expect("rayon worker thread panicked outside a job");
+        }
     }
 }
 
 /// The traits a `use rayon::prelude::*` is expected to bring into scope.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+    pub use crate::iter::{FromParallelIterator, IntoParallelIterator};
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -266,7 +159,7 @@ mod tests {
     }
 
     #[test]
-    fn nested_join_beyond_cap_degrades_to_sequential() {
+    fn nested_join_to_depth_ten_is_exact() {
         fn rec(depth: usize) -> u64 {
             if depth == 0 {
                 return 1;
@@ -278,25 +171,42 @@ mod tests {
     }
 
     #[test]
-    fn join_in_single_thread_pool_runs_on_caller() {
+    fn install_runs_on_pool_workers_not_caller() {
         let pool = super::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         let caller = std::thread::current().id();
         let (ta, tb) = pool.install(|| super::join(|| std::thread::current().id(), || std::thread::current().id()));
-        assert_eq!(ta, caller);
-        assert_eq!(tb, caller);
+        // A single-thread pool runs both closures on its one worker — which
+        // is a real worker thread, not the installing thread.
+        assert_eq!(ta, tb);
+        assert_ne!(ta, caller);
     }
 
     #[test]
-    fn join_panic_does_not_leak_thread_slots() {
-        use std::sync::atomic::Ordering;
-        let before = super::ACTIVE_JOIN_THREADS.load(Ordering::Relaxed);
+    fn join_propagates_panic_payload_via_resume_unwind() {
+        let result = std::panic::catch_unwind(|| super::join(|| panic!("boom-a"), || 1));
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "boom-a", "original payload must survive resume_unwind");
+
+        // When both sides panic, `a`'s payload wins (upstream semantics).
+        let result = std::panic::catch_unwind(|| super::join(|| panic!("first"), || panic!("second")));
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "first");
+    }
+
+    #[test]
+    fn pool_stays_usable_after_repeated_join_panics() {
         for _ in 0..64 {
             let result = std::panic::catch_unwind(|| super::join(|| panic!("boom"), || 1));
             assert!(result.is_err());
         }
-        let after = super::ACTIVE_JOIN_THREADS.load(Ordering::Relaxed);
-        // Leaked slots would leave a delta of 64; allow slack for concurrent tests.
-        assert!(after <= before + 2, "leaked join slots: {before} -> {after}");
+        // No worker died and no state leaked: real work still completes.
+        let (a, b) = super::join(|| (0..100).sum::<u64>(), || (0..100).product::<u64>());
+        assert_eq!(a, 4950);
+        assert_eq!(b, 0);
+        let total: u64 = (0..10_000u64).into_par_iter().sum();
+        assert_eq!(total, 49_995_000);
     }
 
     #[test]
@@ -308,11 +218,37 @@ mod tests {
     }
 
     #[test]
-    fn install_restores_pool_size_after_panic() {
+    fn install_propagates_panic_and_leaves_pool_usable() {
         let outside = super::current_num_threads();
         let pool = super::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
-        let result = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.install(|| panic!("boom"))));
         assert!(result.is_err());
         assert_eq!(super::current_num_threads(), outside);
+        assert_eq!(pool.install(|| 40 + 2), 42);
+    }
+
+    #[test]
+    fn collect_preserves_order_with_many_threads() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let out: Vec<usize> = pool.install(|| (0..10_000usize).into_par_iter().map(|i| i * 3).collect());
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn par_sort_matches_std_stable_sort() {
+        // Big enough to cross the parallel threshold; sort by a coarse key
+        // so stability is observable through the payload.
+        let n = 40_000usize;
+        let mut rng = 0x1234_5678_u64;
+        let mut v: Vec<(u32, usize)> = (0..n)
+            .map(|i| {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (((rng >> 33) as u32) % 97, i)
+            })
+            .collect();
+        let mut expected = v.clone();
+        expected.sort_by_key(|&(k, _)| k);
+        v.par_sort_by_key(|&(k, _)| k);
+        assert_eq!(v, expected, "par_sort_by_key must be stable and correct");
     }
 }

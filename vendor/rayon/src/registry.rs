@@ -1,0 +1,529 @@
+//! The work-stealing scheduler: worker threads, their Chase–Lev deques, job
+//! submission and the blocking-with-stealing [`join`](crate::join).
+//!
+//! Architecture (mirroring upstream rayon's `registry`/`job` modules):
+//!
+//! * A [`Registry`] owns one [`crossbeam::deque::Stealer`] ring over the
+//!   per-worker deques, a FIFO [`crossbeam::deque::Injector`] for jobs
+//!   arriving from non-worker threads, and the sleep machinery.
+//! * Each worker thread registers itself in a thread-local so `join` and the
+//!   parallel iterators can tell "am I inside a pool, and which one?".
+//! * A *job* is a type-erased pointer to a stack-allocated closure cell
+//!   ([`StackJob`]); whoever executes it runs the closure under
+//!   `catch_unwind`, parks the result (or panic payload) back in the cell
+//!   and releases the job's latch.  The submitting side blocks on the latch
+//!   — spinning-and-stealing on a worker ([`SpinLatch`]), condvar-sleeping
+//!   on an external thread ([`LockLatch`]) — so the cell outlives every
+//!   access, which is what makes the lifetime-erasure sound.
+//! * Worker panics therefore never unwind a worker's main loop, and
+//!   [`crate::join`] re-raises the original payload on the caller via
+//!   [`std::panic::resume_unwind`] — real-rayon semantics, pinned by tests.
+//!
+//! Sleeping: an idle worker spins/yields a bounded number of rounds, then
+//! registers as a sleeper and condvar-waits *with a 2 ms timeout*.  Pushers
+//! only take the wake lock when the sleeper count is nonzero, keeping the
+//! push fast path lock-free; the timeout bounds the one theoretical
+//! lost-wakeup window (sleeper registers between a pusher's deque write and
+//! its sleeper check) to a 2 ms stall instead of a correctness bug.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// Type-erased executable unit: a raw pointer plus its executor.
+///
+/// The pointee is a [`StackJob`] on the stack of a thread that is *blocked
+/// until the job's latch is released*, so the pointer stays valid for the
+/// job's whole lifetime.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// Jobs move between threads by design; validity is guaranteed by the
+// blocking protocol above.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// # Safety
+    /// `job` must stay valid until its latch is released by `execute`.
+    pub(crate) unsafe fn new<J: Job>(job: *const J) -> JobRef {
+        unsafe fn execute_erased<J: Job>(ptr: *const ()) {
+            J::execute(ptr as *const J);
+        }
+        JobRef { pointer: job as *const (), execute_fn: execute_erased::<J> }
+    }
+
+    /// Run the job.
+    ///
+    /// # Safety
+    /// Must be called exactly once, while the pointee is still alive.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.pointer)
+    }
+}
+
+/// A unit of work executable through a type-erased [`JobRef`].
+pub(crate) trait Job {
+    /// # Safety
+    /// Called at most once; `this` must point at a live instance.
+    unsafe fn execute(this: *const Self);
+}
+
+/// A latch a job releases when done.
+pub(crate) trait Latch {
+    /// Release the latch.  After this call the releasing thread must not
+    /// touch the job again — the waiter may already have freed it.
+    fn set(&self);
+}
+
+/// Busy-wait latch for waiters that steal while waiting (workers).
+pub(crate) struct SpinLatch {
+    done: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn new() -> SpinLatch {
+        SpinLatch { done: AtomicBool::new(false) }
+    }
+
+    /// Has the latch been released?  (Acquire: pairs with the Release in
+    /// `set`, making the job's result write visible.)
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch {
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+/// Blocking latch for waiters without a deque (external threads).
+pub(crate) struct LockLatch {
+    done: Mutex<bool>,
+    cvar: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> LockLatch {
+        LockLatch { done: Mutex::new(false), cvar: Condvar::new() }
+    }
+
+    /// Block until the latch is released.
+    pub(crate) fn wait(&self) {
+        let mut guard = self.done.lock().unwrap();
+        while !*guard {
+            guard = self.cvar.wait(guard).unwrap();
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut guard = self.done.lock().unwrap();
+        *guard = true;
+        // Notify while holding the lock: the waiter cannot wake, observe
+        // `done`, and deallocate the latch before we are finished with it.
+        self.cvar.notify_all();
+    }
+}
+
+/// A closure parked on the submitting thread's stack, executed (possibly)
+/// elsewhere.  The result — or the panic payload — travels back through
+/// `result`; `latch` signals completion.
+pub(crate) struct StackJob<L, F, R> {
+    pub(crate) latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+}
+
+impl<L, F, R> StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(latch: L, func: F) -> StackJob<L, F, R> {
+        StackJob { latch, func: UnsafeCell::new(Some(func)), result: UnsafeCell::new(None) }
+    }
+
+    /// # Safety
+    /// The caller must keep `self` alive until the latch is released.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new(self)
+    }
+
+    /// # Safety
+    /// Only after the latch released; consumes the parked result.
+    pub(crate) unsafe fn take_result(&self) -> std::thread::Result<R> {
+        (*self.result.get()).take().expect("job completed without storing a result")
+    }
+}
+
+impl<L, F, R> Job for StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const Self) {
+        let this = &*this;
+        let func = (*this.func.get()).take().expect("job executed twice");
+        let result = catch_unwind(AssertUnwindSafe(func));
+        *this.result.get() = Some(result);
+        this.latch.set();
+        // `this` may already be gone: nothing after the latch.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The registry (one per pool) and its worker threads
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Registry {
+    pub(crate) num_threads: usize,
+    injector: Injector<JobRef>,
+    stealers: Vec<Stealer<JobRef>>,
+    terminate: AtomicBool,
+    sleep_lock: Mutex<()>,
+    sleep_cvar: Condvar,
+    sleepers: AtomicUsize,
+}
+
+thread_local! {
+    /// The [`WorkerThread`] owned by this OS thread, if it is a pool worker.
+    static WORKER: Cell<*const WorkerThread> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Per-worker state, stack-allocated in `worker_main` and published through
+/// the `WORKER` thread-local for the duration of the thread.
+pub(crate) struct WorkerThread {
+    pub(crate) registry: Arc<Registry>,
+    index: usize,
+    deque: Deque<JobRef>,
+    /// xorshift state for randomised steal-victim rotation.
+    rng: Cell<u64>,
+}
+
+impl WorkerThread {
+    /// The current thread's worker state, or null.
+    pub(crate) fn current() -> *const WorkerThread {
+        WORKER.with(|c| c.get())
+    }
+
+    /// Push a job where thieves can find it, and wake them.
+    pub(crate) fn push(&self, job: JobRef) {
+        self.deque.push(job);
+        self.registry.notify();
+    }
+
+    /// Pop the most recent local job.
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        self.deque.pop()
+    }
+
+    fn next_victim_offset(&self, n: usize) -> usize {
+        let mut x = self.rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.set(x);
+        (x as usize) % n
+    }
+
+    /// One sweep over other workers' deques (random start) and the
+    /// injector.  Retries internally while any victim reports a lost race.
+    pub(crate) fn find_stealable(&self) -> Option<JobRef> {
+        let n = self.registry.stealers.len();
+        loop {
+            let mut lost_race = false;
+            let start = self.next_victim_offset(n.max(1));
+            for k in 0..n {
+                let victim = (start + k) % n;
+                if victim == self.index {
+                    continue;
+                }
+                match self.registry.stealers[victim].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Retry => lost_race = true,
+                    Steal::Empty => {}
+                }
+            }
+            match self.registry.injector.steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Retry => lost_race = true,
+                Steal::Empty => {}
+            }
+            if !lost_race {
+                return None;
+            }
+        }
+    }
+
+    /// Local work first, then theft.
+    fn find_work(&self) -> Option<JobRef> {
+        self.pop().or_else(|| self.find_stealable())
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, index: usize, deque: Deque<JobRef>) {
+    let worker = WorkerThread { registry, index, deque, rng: Cell::new(0x9E37_79B9_7F4A_7C15 ^ (index as u64 + 1)) };
+    WORKER.with(|c| c.set(&worker as *const WorkerThread));
+    let registry = Arc::clone(&worker.registry);
+    const SPINS_BEFORE_SLEEP: u32 = 64;
+    let mut idle_rounds = 0u32;
+    loop {
+        if let Some(job) = worker.find_work() {
+            idle_rounds = 0;
+            // StackJob::execute catches panics, so the loop survives any
+            // user-code panic (pinned by the panic-under-load test).
+            unsafe { job.execute() };
+        } else if registry.terminate.load(Ordering::Acquire) {
+            break;
+        } else if idle_rounds < SPINS_BEFORE_SLEEP {
+            idle_rounds += 1;
+            std::thread::yield_now();
+        } else {
+            registry.sleep();
+        }
+    }
+    WORKER.with(|c| c.set(std::ptr::null()));
+}
+
+impl Registry {
+    /// Spawn a pool of `num_threads` workers; returns the registry and the
+    /// thread handles (the caller decides whether to join or leak them).
+    pub(crate) fn spawn(num_threads: usize) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
+        let num_threads = num_threads.max(1);
+        let deques: Vec<Deque<JobRef>> = (0..num_threads).map(|_| Deque::new()).collect();
+        let stealers = deques.iter().map(Deque::stealer).collect();
+        let registry = Arc::new(Registry {
+            num_threads,
+            injector: Injector::new(),
+            stealers,
+            terminate: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            sleep_cvar: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+        });
+        let handles = deques
+            .into_iter()
+            .enumerate()
+            .map(|(index, deque)| {
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("rsp-rayon-{index}"))
+                    .spawn(move || worker_main(registry, index, deque))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    /// Wake sleeping workers if there are any (lock-free when none).
+    pub(crate) fn notify(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_lock.lock().unwrap();
+            self.sleep_cvar.notify_all();
+        }
+    }
+
+    /// Park the calling worker until notified (or the 2 ms backstop).
+    fn sleep(&self) {
+        let guard = self.sleep_lock.lock().unwrap();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        // Recheck *after* registering as a sleeper: a pusher that saw
+        // sleepers == 0 pushed before our increment, so we see its job here.
+        let work_visible = !self.injector.is_empty() || self.stealers.iter().any(|s| !s.is_empty());
+        if !work_visible && !self.terminate.load(Ordering::SeqCst) {
+            let _ = self.sleep_cvar.wait_timeout(guard, Duration::from_millis(2)).unwrap();
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Ask the workers to exit once the queues drain, and wake them all.
+    pub(crate) fn request_terminate(&self) {
+        self.terminate.store(true, Ordering::SeqCst);
+        let _guard = self.sleep_lock.lock().unwrap();
+        self.sleep_cvar.notify_all();
+    }
+
+    /// Run `f` inside this pool: inject it, block until a worker finishes
+    /// it, rethrow its panic if it had one.  Called from non-worker threads
+    /// (workers run closures for their own pool directly).
+    pub(crate) fn in_worker<F, R>(self: &Arc<Self>, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let job = StackJob::new(LockLatch::new(), f);
+        // Safety: we block on the latch below, so `job` outlives execution.
+        let job_ref = unsafe { job.as_job_ref() };
+        self.injector.push(job_ref);
+        self.notify();
+        job.latch.wait();
+        match unsafe { job.take_result() } {
+            Ok(value) => value,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The global pool
+// ---------------------------------------------------------------------------
+
+static GLOBAL_REGISTRY: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// Worker count for the global pool / outside any pool: `RAYON_NUM_THREADS`
+/// (the upstream env knob, which the CI thread-count matrix sets) or the
+/// hardware parallelism.
+pub(crate) fn default_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// The lazily-spawned global registry (its worker handles are leaked — the
+/// global pool lives for the process).
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL_REGISTRY.get_or_init(|| Registry::spawn(default_num_threads()).0)
+}
+
+/// Number of worker threads of the current pool: the enclosing pool's size
+/// on a worker thread; the global pool's (configured) size elsewhere.
+pub fn current_num_threads() -> usize {
+    let worker = WorkerThread::current();
+    if worker.is_null() {
+        match GLOBAL_REGISTRY.get() {
+            Some(registry) => registry.num_threads,
+            None => default_num_threads(),
+        }
+    } else {
+        // Safety: non-null ⇒ this thread is the worker, which outlives us.
+        let worker = unsafe { &*worker };
+        worker.registry.num_threads
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Run `oper_a` and `oper_b`, potentially in parallel, and return both
+/// results.
+///
+/// On a worker thread, `oper_b` is published on the worker's deque for
+/// thieves while the worker runs `oper_a` itself; it then pops `oper_b` back
+/// (the common, theft-free case runs both inline with no synchronisation
+/// beyond two deque operations) or, if `oper_b` was stolen, *steals other
+/// work* while waiting for the thief to finish.  Outside a pool the whole
+/// join is shipped to the global pool first.  Single-thread pools run both
+/// closures sequentially on the spot.
+///
+/// If either closure panics, the panic payload is re-raised on the caller
+/// via [`std::panic::resume_unwind`] (both closures are always waited for,
+/// so no work is left dangling on the deque when the panic propagates —
+/// upstream rayon's semantics).  If both panic, `oper_a`'s payload wins.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let worker = WorkerThread::current();
+    if worker.is_null() {
+        let registry = global_registry();
+        if registry.num_threads <= 1 {
+            let ra = oper_a();
+            let rb = oper_b();
+            return (ra, rb);
+        }
+        return registry.in_worker(move || join(oper_a, oper_b));
+    }
+    // Safety: `worker` is the current thread's own WorkerThread; it outlives
+    // this call because worker_main only returns after its loop exits.
+    let worker = unsafe { &*worker };
+    if worker.registry.num_threads <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+
+    let job_b = StackJob::new(SpinLatch::new(), oper_b);
+    // Safety: we do not return before the latch is released (the wait loop
+    // below), so job_b outlives any thief.
+    let job_b_ref = unsafe { job_b.as_job_ref() };
+    worker.push(job_b_ref);
+
+    // Run `a` ourselves, capturing a panic so `b` is still waited for (a
+    // thief may be running it on our stack data right now).
+    let status_a = catch_unwind(AssertUnwindSafe(oper_a));
+
+    while !job_b.latch.probe() {
+        match worker.pop() {
+            // The popped job is almost always `job_b` itself (LIFO deque);
+            // executing whatever came off is correct either way.
+            Some(job) => unsafe { job.execute() },
+            None => {
+                // `b` was stolen: contribute to someone else's work instead
+                // of spinning idle.
+                match worker.find_stealable() {
+                    Some(job) => unsafe { job.execute() },
+                    None => std::thread::yield_now(),
+                }
+            }
+        }
+    }
+    // Safety: latch released → result stored, nobody else touches job_b.
+    let status_b = unsafe { job_b.take_result() };
+    match (status_a, status_b) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => resume_unwind(payload),
+        (Ok(_), Err(payload)) => resume_unwind(payload),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Running closures inside a pool (shared by install and the par-iter layer)
+// ---------------------------------------------------------------------------
+
+/// Run `f` so that `join`s inside it land on a real pool: inline when the
+/// current thread is already a worker (or the global pool is single-thread,
+/// where sequential is both correct and cheapest), shipped to the global
+/// pool otherwise.
+pub(crate) fn run_in_pool<R, F>(f: F) -> R
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    let worker = WorkerThread::current();
+    if !worker.is_null() {
+        return f();
+    }
+    let registry = global_registry();
+    if registry.num_threads <= 1 {
+        f()
+    } else {
+        registry.in_worker(f)
+    }
+}
+
+/// True when the calling thread belongs to `registry`.
+pub(crate) fn on_worker_of(registry: &Arc<Registry>) -> bool {
+    let worker = WorkerThread::current();
+    !worker.is_null() && Arc::ptr_eq(unsafe { &(*worker).registry }, registry)
+}

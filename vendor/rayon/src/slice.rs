@@ -1,0 +1,194 @@
+//! Parallel slice views (`par_iter`, `par_chunks`, mutable variants) and
+//! parallel stable sorting.
+//!
+//! The sort is a classic parallel stable merge sort: halves are sorted
+//! recursively through [`crate::join`] down to a sequential floor (where
+//! `slice::sort_by` — itself stable — takes over), then merged through a
+//! scratch buffer.  The recursion shape depends only on the slice length,
+//! and every merge is stable, so the result is identical to a sequential
+//! stable sort regardless of thread count or interleaving.
+
+use crate::iter::{ChunksMutSource, ChunksSource, IterMutSource, Par, SliceSource};
+use crate::registry::{current_num_threads, run_in_pool};
+use std::cmp::Ordering;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+
+/// Parallel operations on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> Par<SliceSource<'_, T>>;
+
+    /// Parallel iterator over non-overlapping chunks of `chunk_size`
+    /// elements (the last may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksSource<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<SliceSource<'_, T>> {
+        Par::new(SliceSource { slice: self })
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksSource<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        Par::new(ChunksSource { slice: self, chunk: chunk_size })
+    }
+}
+
+/// Parallel operations on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> Par<IterMutSource<'_, T>>;
+
+    /// Parallel iterator over non-overlapping `&mut` chunks of `chunk_size`
+    /// elements (the last may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutSource<'_, T>>;
+
+    /// Parallel stable sort.
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+
+    /// Parallel stable sort by a comparator.
+    fn par_sort_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync;
+
+    /// Parallel stable sort by a key-extraction function.
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<IterMutSource<'_, T>> {
+        Par::new(IterMutSource { ptr: self.as_mut_ptr(), len: self.len(), marker: PhantomData })
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutSource<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        Par::new(ChunksMutSource { ptr: self.as_mut_ptr(), len: self.len(), chunk: chunk_size, marker: PhantomData })
+    }
+
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.par_sort_by(T::cmp);
+    }
+
+    fn par_sort_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        if self.len() <= SEQUENTIAL_SORT_FLOOR {
+            self.sort_by(|a, b| compare(a, b));
+            return;
+        }
+        let compare = &compare;
+        run_in_pool(move || par_merge_sort(self, compare));
+    }
+
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.par_sort_by(|a, b| key(a).cmp(&key(b)));
+    }
+}
+
+/// Below this length a leaf is sorted with the (stable) standard sort.
+const SEQUENTIAL_SORT_FLOOR: usize = 2048;
+
+fn par_merge_sort<T: Send, F>(v: &mut [T], compare: &F)
+where
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = v.len();
+    if n <= SEQUENTIAL_SORT_FLOOR || current_num_threads() <= 1 {
+        v.sort_by(|a, b| compare(a, b));
+        return;
+    }
+    let mid = n / 2;
+    let (lo, hi) = v.split_at_mut(mid);
+    crate::join(|| par_merge_sort(lo, compare), || par_merge_sort(hi, compare));
+    merge_sorted_halves(v, mid, compare);
+}
+
+/// Stable merge of the sorted halves `v[..mid]` and `v[mid..]` in place,
+/// through a scratch buffer.
+///
+/// Panic safety: the elements are bitwise-moved into scratch and merged
+/// back by position.  A drop guard tracks which scratch elements have not
+/// yet been copied back; if the comparator panics, the guard copies the
+/// unconsumed remainder into the unwritten tail of `v`, so `v` again owns
+/// every element exactly once (in unspecified order) and nothing is
+/// double-dropped or leaked.  The same guard performs the ordinary tail
+/// copy on the non-panic path.
+fn merge_sorted_halves<T, F>(v: &mut [T], mid: usize, compare: &F)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let n = v.len();
+    let mut scratch: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    unsafe {
+        std::ptr::copy_nonoverlapping(v.as_ptr().cast::<MaybeUninit<T>>(), scratch.as_mut_ptr(), n);
+        scratch.set_len(n);
+    }
+
+    struct MergeGuard<T> {
+        src: *const T,
+        dst: *mut T,
+        /// Next unconsumed index of the left run (`..mid`).
+        i: usize,
+        /// Next unconsumed index of the right run (`mid..n`).
+        j: usize,
+        mid: usize,
+        n: usize,
+        /// Next unwritten slot of `dst`.
+        k: usize,
+    }
+
+    impl<T> Drop for MergeGuard<T> {
+        fn drop(&mut self) {
+            // Copy everything not yet merged back into the remaining slots.
+            // Normally one run is exhausted and this is the ordinary merge
+            // tail; after a comparator panic both runs may be non-empty and
+            // this restores ownership of every element to `v`.
+            unsafe {
+                let mut k = self.k;
+                for idx in self.i..self.mid {
+                    std::ptr::copy_nonoverlapping(self.src.add(idx), self.dst.add(k), 1);
+                    k += 1;
+                }
+                for idx in (self.mid + self.j)..self.n {
+                    std::ptr::copy_nonoverlapping(self.src.add(idx), self.dst.add(k), 1);
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    let mut guard = MergeGuard { src: scratch.as_ptr().cast::<T>(), dst: v.as_mut_ptr(), i: 0, j: 0, mid, n, k: 0 };
+    unsafe {
+        while guard.i < guard.mid && guard.mid + guard.j < guard.n {
+            let left = &*guard.src.add(guard.i);
+            let right = &*guard.src.add(guard.mid + guard.j);
+            // Take from the right run only when strictly smaller: ties go
+            // left, which is what makes the merge stable.
+            if compare(right, left) == Ordering::Less {
+                std::ptr::copy_nonoverlapping(right, guard.dst.add(guard.k), 1);
+                guard.j += 1;
+            } else {
+                std::ptr::copy_nonoverlapping(left, guard.dst.add(guard.k), 1);
+                guard.i += 1;
+            }
+            guard.k += 1;
+        }
+    }
+    // Guard's drop writes the tail (scratch is MaybeUninit: dropping it
+    // frees only the buffer, never the elements — `v` owns them again).
+    drop(guard);
+}

@@ -1,0 +1,165 @@
+//! Scheduler-level certification of the work-stealing pool: work really
+//! lands on multiple workers, deep nesting cannot deadlock the blocking
+//! `join`, concurrent hosts can share one pool, and panics under load leave
+//! every pool usable.  These are the concurrency guarantees the rest of the
+//! workspace (Router batch serving, the divide-and-conquer recursions)
+//! silently relies on.
+
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// The acceptance criterion of PR 6: with p ≥ 2, a `par_iter` workload is
+/// observed on at least two distinct worker threads (the sequential shim
+/// this replaced would record exactly one).
+#[test]
+fn par_iter_work_lands_on_multiple_threads() {
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    // Thread scheduling is not ours to command, so allow a few attempts
+    // before declaring the scheduler sequential; one is virtually always
+    // enough because idle workers are spinning for exactly this theft.
+    for attempt in 0..5 {
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0..4096u64).into_par_iter().for_each(|i| {
+                // Enough work per item that leaves outlive the time it
+                // takes an idle worker to steal one.
+                let mut acc = i;
+                for _ in 0..2_000 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                }
+                if acc != 42 {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                }
+            });
+        });
+        let distinct = seen.lock().unwrap().len();
+        if distinct >= 2 {
+            return;
+        }
+        eprintln!("attempt {attempt}: workload stayed on {distinct} thread(s), retrying");
+    }
+    panic!("par_iter never fanned out to a second worker across 5 attempts");
+}
+
+/// Linear chains of joins nest far deeper than the worker count.  Each
+/// level blocks on the one below it; with 2 workers and depth 300 this
+/// deadlocks unless blocked joins keep executing work (the
+/// stealing-while-waiting loop).
+#[test]
+fn nested_join_depth_far_beyond_worker_count() {
+    fn chain(depth: usize) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let (rest, one) = rayon::join(|| chain(depth - 1), || 1u64);
+        rest + one
+    }
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    assert_eq!(pool.install(|| chain(300)), 301);
+
+    // And a full binary recursion: 2^14 leaves on the same 2 workers.
+    fn tree(depth: usize) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let (a, b) = rayon::join(|| tree(depth - 1), || tree(depth - 1));
+        a + b
+    }
+    assert_eq!(pool.install(|| tree(14)), 16_384);
+}
+
+/// Many host threads install into ONE shared pool at the same time: the
+/// injector serves them all, every result is correct, and nothing deadlocks.
+#[test]
+fn concurrent_installs_from_many_host_threads() {
+    let pool = Arc::new(rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap());
+    let hosts = 8;
+    let barrier = Arc::new(Barrier::new(hosts));
+    let handles: Vec<_> = (0..hosts)
+        .map(|h| {
+            let pool = Arc::clone(&pool);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait(); // maximise overlap
+                let lo = (h as u64) * 10_000;
+                let total: u64 = pool.install(|| (lo..lo + 10_000).into_par_iter().sum());
+                assert_eq!(total, (lo..lo + 10_000).sum::<u64>(), "host {h}");
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+}
+
+/// External (non-worker) threads hammering the *global* pool's injector
+/// concurrently with plain `join` calls.
+#[test]
+fn global_pool_serves_concurrent_external_joins() {
+    let handles: Vec<_> = (0..6)
+        .map(|h| {
+            std::thread::spawn(move || {
+                for round in 0..20u64 {
+                    let (a, b) = rayon::join(
+                        || (0..500).map(|i| i * (h + 1)).sum::<u64>(),
+                        || (0..500).map(|i| i + round).sum::<u64>(),
+                    );
+                    assert_eq!(a, (0..500).map(|i| i * (h + 1)).sum::<u64>());
+                    assert_eq!(b, (0..500).map(|i| i + round).sum::<u64>());
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+}
+
+/// Panics raised by parallel leaves while the pool is saturated: every
+/// panic reaches its own installer (and only it), workers survive, and the
+/// pool keeps producing correct results afterwards.
+#[test]
+fn panic_under_load_leaves_pool_usable() {
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    let completed = AtomicUsize::new(0);
+    for round in 0..16usize {
+        let poison = round * 61 % 1024;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..1024usize).into_par_iter().for_each(|i| {
+                    if i == poison {
+                        panic!("poisoned item {i}");
+                    }
+                    completed.fetch_add(1, Ordering::Relaxed);
+                });
+            })
+        }));
+        assert!(result.is_err(), "round {round}: the poisoned item must panic the install");
+    }
+    // Non-poisoned leaves that already ran were not lost or double-run
+    // beyond the possible short-circuiting of sibling leaves.
+    assert!(completed.load(Ordering::Relaxed) <= 16 * 1023);
+
+    // The same pool still computes exact results at full width.
+    let sum: u64 = pool.install(|| (0..100_000u64).into_par_iter().sum());
+    assert_eq!(sum, 4_999_950_000);
+    let collected: Vec<usize> = pool.install(|| (0..10_000usize).into_par_iter().map(|i| i + 1).collect());
+    assert!(collected.iter().enumerate().all(|(i, &x)| x == i + 1));
+}
+
+/// Dropping pools while other pools are mid-flight: shutdown only affects
+/// the dropped pool's workers.
+#[test]
+fn pool_shutdown_is_isolated() {
+    let survivor = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    for _ in 0..8 {
+        let ephemeral = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let s: u64 = ephemeral.install(|| (0..5_000u64).into_par_iter().sum());
+        assert_eq!(s, 12_497_500);
+        drop(ephemeral); // joins its workers
+        let t: u64 = survivor.install(|| (0..5_000u64).into_par_iter().sum());
+        assert_eq!(t, 12_497_500);
+    }
+}
