@@ -324,6 +324,11 @@ impl Router {
     /// pairs fan out over rayon.  The output is index-aligned with `pairs`
     /// and equals what per-pair [`Router::distance`] calls would return.
     pub fn distances(&self, pairs: &[(Point, Point)]) -> Result<Vec<Dist>, RspError> {
+        // An empty batch must not force the O(n^2) oracle build: serving
+        // layers (rsp-server's admission queue) may dispatch empty windows.
+        if pairs.is_empty() {
+            return Ok(Vec::new());
+        }
         let oracle = self.oracle_handle();
         let apsp = oracle.apsp();
         let mut out = vec![0 as Dist; pairs.len()];
@@ -385,6 +390,12 @@ impl Router {
     /// Batch path reporting: builds all missing source trees in one parallel
     /// pass, then extracts every path.  Output is index-aligned with `pairs`.
     pub fn paths(&self, pairs: &[(Point, Point)]) -> Result<Vec<RectiPath>, RspError> {
+        // As in `distances`: an empty batch touches no lazy substructure
+        // (`ensure_trees(&[])` would still build the oracle via the trees
+        // handle).
+        if pairs.is_empty() {
+            return Ok(Vec::new());
+        }
         for &(s, t) in pairs {
             self.vertex_index(s)?;
             self.vertex_index(t)?;
@@ -510,6 +521,15 @@ mod tests {
         assert_eq!(counts.oracle_builds, 1);
         assert_eq!(counts.tree_builds, 1);
         assert_eq!(counts.boundary_builds, 1);
+    }
+
+    #[test]
+    fn empty_batches_build_nothing() {
+        let router = Router::new(sample()).unwrap();
+        assert_eq!(router.distances(&[]).unwrap(), Vec::<i64>::new());
+        assert_eq!(router.paths(&[]).unwrap(), Vec::new());
+        // Neither empty batch may have touched a lazy substructure.
+        assert_eq!(router.build_counts(), BuildCounts::default());
     }
 
     #[test]

@@ -159,7 +159,9 @@ pub type RectId = usize;
 /// Evidence that two obstacles violate the paper's disjointness assumption:
 /// the offending pair of rectangle ids together with the rectangles
 /// themselves, as reported by [`ObstacleSet::validate_disjoint`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Serialisable so the `rsp-server` wire protocol can ship the evidence to
+/// remote clients intact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DisjointnessViolation {
     /// Index of the first rectangle of the overlapping pair.
     pub first: RectId,
@@ -188,7 +190,7 @@ impl std::error::Error for DisjointnessViolation {}
 
 /// A set of pairwise interior-disjoint rectangular obstacles — the input `R`
 /// of the paper.  The vertex set `V_R` has `4n` points.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ObstacleSet {
     rects: Vec<Rect>,
 }
@@ -310,6 +312,39 @@ impl ObstacleSet {
     pub fn subset(&self, ids: &[RectId]) -> ObstacleSet {
         ObstacleSet::new(ids.iter().map(|&i| self.rects[i]).collect())
     }
+
+    /// A stable, order-independent 64-bit hash of the scene geometry.
+    ///
+    /// Each rectangle is hashed independently with FNV-1a over the
+    /// little-endian bytes of its four coordinates; the per-rectangle hashes
+    /// are then combined commutatively (wrapping sum and xor, mixed with the
+    /// rectangle count in a final FNV-1a pass), so two sets holding the same
+    /// rectangles in different insertion orders hash identically.  Used by
+    /// `rsp-server` to key session caches — the hash is part of the wire
+    /// contract and must stay stable across versions (pinned by a unit test).
+    pub fn scene_hash(&self) -> u64 {
+        fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+            let mut h = h;
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h
+        }
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        let (mut sum, mut xor) = (0u64, 0u64);
+        for r in &self.rects {
+            let mut h = OFFSET;
+            for c in [r.xmin, r.ymin, r.xmax, r.ymax] {
+                h = fnv1a(h, &c.to_le_bytes());
+            }
+            sum = sum.wrapping_add(h);
+            xor ^= h;
+        }
+        let mut out = fnv1a(OFFSET, &(self.rects.len() as u64).to_le_bytes());
+        out = fnv1a(out, &sum.to_le_bytes());
+        fnv1a(out, &xor.to_le_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -418,6 +453,34 @@ mod tests {
         assert_eq!(sub.rect(0), r(4, 4, 5, 5));
         assert_eq!(sub.rect(1), r(0, 0, 1, 1));
     }
+
+    #[test]
+    fn scene_hash_is_order_independent_and_pinned() {
+        let rects = vec![r(0, 0, 2, 2), r(4, 4, 6, 6), r(-3, 1, -1, 9)];
+        let base = ObstacleSet::new(rects.clone()).scene_hash();
+        // Every permutation of the insertion order hashes identically.
+        let perms: [[usize; 3]; 5] = [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        for p in perms {
+            let shuffled = ObstacleSet::new(p.iter().map(|&i| rects[i]).collect());
+            assert_eq!(shuffled.scene_hash(), base, "order {p:?}");
+        }
+        // Geometry changes change the hash; so does multiplicity (the sum
+        // component keeps duplicate rectangles from xor-cancelling).
+        let moved = ObstacleSet::new(vec![r(0, 0, 2, 2), r(4, 4, 6, 6), r(-3, 1, -1, 10)]);
+        assert_ne!(moved.scene_hash(), base);
+        let doubled = ObstacleSet::new(vec![r(0, 0, 2, 2), r(0, 0, 2, 2)]);
+        assert_ne!(doubled.scene_hash(), ObstacleSet::new(vec![r(0, 0, 2, 2)]).scene_hash());
+        // The hash is a wire-level cache key: pin the exact value so an
+        // accidental algorithm change is caught loudly.
+        assert_eq!(ObstacleSet::new(vec![r(0, 0, 2, 2)]).scene_hash(), PINNED_SINGLE);
+        assert_eq!(base, PINNED_TRIPLE);
+        assert_eq!(ObstacleSet::empty().scene_hash(), PINNED_EMPTY);
+    }
+
+    // Pinned constants for `scene_hash_is_order_independent_and_pinned`.
+    const PINNED_SINGLE: u64 = 1049604639078050488;
+    const PINNED_TRIPLE: u64 = 11593469030792053122;
+    const PINNED_EMPTY: u64 = 9354609568656401157;
 
     #[test]
     fn empty_set() {

@@ -1,0 +1,253 @@
+//! The admission queue: coalesce single point queries into `Router` batches.
+//!
+//! Inference servers live on this shape — individual requests arrive
+//! asynchronously, but the backend is far more efficient per query when
+//! driven in batches (here: one [`Router::distances`] call amortises the
+//! batch machinery and lets vertex pairs stream through the `O(1)` matrix
+//! fast path back-to-back).  The [`Coalescer`] collects queries for at most
+//! a configurable *window* after the first arrival, or until a *size
+//! budget* fills, then dispatches the whole batch on a dedicated worker
+//! thread and fans each answer back to its caller over a channel.
+//!
+//! Failure isolation: [`Router::distances`] fails the whole batch when any
+//! single query is invalid (e.g. an endpoint strictly inside an obstacle).
+//! One bad query must not poison its batch-mates, so on batch failure the
+//! worker falls back to per-query [`Router::distance`] calls — every caller
+//! still gets exactly the result a direct call would have produced.
+
+use crate::protocol::{QueueStats, ServerError};
+use rsp_core::router::Router;
+use rsp_geom::{Dist, Point};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+struct Pending {
+    router: Arc<Router>,
+    pair: (Point, Point),
+    tx: Sender<Result<Dist, ServerError>>,
+}
+
+struct State {
+    pending: Vec<Pending>,
+    window_start: Option<Instant>,
+    shutdown: bool,
+    stats: QueueStats,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    arrived: Condvar,
+    window: Duration,
+    max_batch: usize,
+}
+
+/// A batching admission queue in front of one shard's routers.  Dropping the
+/// coalescer drains outstanding queries, then stops its worker thread.
+pub struct Coalescer {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Coalescer {
+    /// A queue that dispatches a batch `window` after its first query
+    /// arrives, or as soon as `max_batch` (at least 1) queries are pending.
+    /// A zero window dispatches whatever has accumulated by the time the
+    /// worker wakes — lowest latency, least coalescing.
+    pub fn new(window: Duration, max_batch: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                pending: Vec::new(),
+                window_start: None,
+                shutdown: false,
+                stats: QueueStats::default(),
+            }),
+            arrived: Condvar::new(),
+            window,
+            max_batch: max_batch.max(1),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("rsp-coalescer".into())
+            .spawn(move || run_worker(&worker_shared))
+            .expect("spawn coalescer worker");
+        Coalescer { shared, worker: Some(worker) }
+    }
+
+    /// Admit one point query against `router`.  Returns the channel on which
+    /// exactly one result will arrive; blocking on it yields what a direct
+    /// [`Router::distance`] call would return.
+    pub fn submit(&self, router: Arc<Router>, a: Point, b: Point) -> Receiver<Result<Dist, ServerError>> {
+        let (tx, rx) = channel();
+        let mut state = self.shared.state.lock().expect("coalescer state poisoned");
+        if state.shutdown {
+            let _ = tx.send(Err(ServerError::ShuttingDown));
+            return rx;
+        }
+        state.stats.queries += 1;
+        if state.pending.is_empty() {
+            state.window_start = Some(Instant::now());
+        }
+        state.pending.push(Pending { router, pair: (a, b), tx });
+        drop(state);
+        self.shared.arrived.notify_all();
+        rx
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> QueueStats {
+        self.shared.state.lock().expect("coalescer state poisoned").stats
+    }
+}
+
+impl Drop for Coalescer {
+    fn drop(&mut self) {
+        self.shared.state.lock().expect("coalescer state poisoned").shutdown = true;
+        self.shared.arrived.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn run_worker(shared: &Shared) {
+    let mut state = shared.state.lock().expect("coalescer state poisoned");
+    loop {
+        if state.pending.is_empty() {
+            if state.shutdown {
+                return;
+            }
+            state = shared.arrived.wait(state).expect("coalescer state poisoned");
+            continue;
+        }
+        // A batch is open: wait out the remaining window unless the size
+        // budget fills or shutdown asks for an immediate flush.
+        let deadline = state.window_start.expect("open batch records its start") + shared.window;
+        loop {
+            if state.pending.len() >= shared.max_batch || state.shutdown {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, _timeout) =
+                shared.arrived.wait_timeout(state, deadline - now).expect("coalescer state poisoned");
+            state = next;
+        }
+        // The budget is a hard cap on batch size: if submits outpaced the
+        // worker, dispatch `max_batch` now and reopen the window for the
+        // remainder instead of shipping one oversized batch.
+        let take = state.pending.len().min(shared.max_batch);
+        let batch: Vec<Pending> = state.pending.drain(..take).collect();
+        state.window_start = if state.pending.is_empty() { None } else { Some(Instant::now()) };
+        state.stats.batches += 1;
+        state.stats.largest_batch = state.stats.largest_batch.max(batch.len() as u64);
+        drop(state);
+        execute(batch);
+        state = shared.state.lock().expect("coalescer state poisoned");
+    }
+}
+
+/// Serve one dispatched batch: group by router (a batch may span scenes
+/// sharing a shard), answer each group with one `distances` call, and fan
+/// results back.  Send failures mean the caller gave up waiting; they are
+/// ignored.
+fn execute(batch: Vec<Pending>) {
+    let mut groups: Vec<(Arc<Router>, Vec<usize>)> = Vec::new();
+    for (idx, pending) in batch.iter().enumerate() {
+        match groups.iter_mut().find(|(router, _)| Arc::ptr_eq(router, &pending.router)) {
+            Some((_, members)) => members.push(idx),
+            None => groups.push((Arc::clone(&pending.router), vec![idx])),
+        }
+    }
+    for (router, members) in groups {
+        let pairs: Vec<(Point, Point)> = members.iter().map(|&i| batch[i].pair).collect();
+        match router.distances(&pairs) {
+            Ok(lengths) => {
+                for (&i, length) in members.iter().zip(lengths) {
+                    let _ = batch[i].tx.send(Ok(length));
+                }
+            }
+            // One invalid query fails a whole `distances` call; re-serve the
+            // group per-query so only the culprit sees its typed error.
+            Err(_) => {
+                for &i in &members {
+                    let (a, b) = batch[i].pair;
+                    let _ = batch[i].tx.send(router.distance(a, b).map_err(ServerError::from));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_geom::{ObstacleSet, Rect};
+    use rsp_workload::{query_pairs, uniform_disjoint};
+
+    #[test]
+    fn coalesced_answers_match_per_call_distance() {
+        let w = uniform_disjoint(8, 17);
+        let router = Arc::new(Router::new(w.obstacles.clone()).unwrap());
+        let queue = Coalescer::new(Duration::from_millis(2), 64);
+        let mut pairs = query_pairs(&w.obstacles, 24, true, 3);
+        pairs.extend(query_pairs(&w.obstacles, 24, false, 4));
+        let receivers: Vec<_> = pairs.iter().map(|&(a, b)| queue.submit(Arc::clone(&router), a, b)).collect();
+        for (rx, &(a, b)) in receivers.iter().zip(&pairs) {
+            let got = rx.recv().unwrap().unwrap();
+            assert_eq!(got, router.distance(a, b).unwrap(), "{a:?} -> {b:?}");
+        }
+        let stats = queue.stats();
+        assert_eq!(stats.queries, 48);
+        assert!(stats.batches >= 1);
+        assert!(stats.largest_batch >= 2, "the window coalesced something: {stats:?}");
+    }
+
+    #[test]
+    fn bad_query_fails_alone_not_its_batchmates() {
+        let obstacles = ObstacleSet::new(vec![Rect::new(2, 2, 6, 10)]);
+        let router = Arc::new(Router::new(obstacles).unwrap());
+        let queue = Coalescer::new(Duration::from_millis(5), 64);
+        let good_a = queue.submit(Arc::clone(&router), Point::new(0, 0), Point::new(8, 12));
+        let bad = queue.submit(Arc::clone(&router), Point::new(3, 5), Point::new(0, 0));
+        let good_b = queue.submit(Arc::clone(&router), Point::new(2, 2), Point::new(6, 10));
+        assert_eq!(good_a.recv().unwrap().unwrap(), router.distance(Point::new(0, 0), Point::new(8, 12)).unwrap());
+        assert!(matches!(bad.recv().unwrap().unwrap_err(), ServerError::PointInsideObstacle { obstacle: 0, .. }));
+        assert_eq!(good_b.recv().unwrap().unwrap(), 12);
+    }
+
+    #[test]
+    fn size_budget_flushes_before_the_window() {
+        let w = uniform_disjoint(4, 9);
+        let router = Arc::new(Router::new(w.obstacles.clone()).unwrap());
+        // A long window with a tiny budget: dispatch must come from the
+        // budget, not the timer.
+        let queue = Coalescer::new(Duration::from_secs(60), 2);
+        let pairs = query_pairs(&w.obstacles, 4, true, 5);
+        let receivers: Vec<_> = pairs.iter().map(|&(a, b)| queue.submit(Arc::clone(&router), a, b)).collect();
+        for rx in &receivers {
+            assert!(rx.recv_timeout(Duration::from_secs(20)).unwrap().is_ok());
+        }
+        let stats = queue.stats();
+        assert!(stats.batches >= 2, "{stats:?}");
+        assert!(stats.largest_batch <= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn shutdown_drains_pending_queries() {
+        let w = uniform_disjoint(4, 11);
+        let router = Arc::new(Router::new(w.obstacles.clone()).unwrap());
+        let queue = Coalescer::new(Duration::from_millis(50), 1024);
+        let pending: Vec<_> = query_pairs(&w.obstacles, 8, true, 6)
+            .iter()
+            .map(|&(a, b)| queue.submit(Arc::clone(&router), a, b))
+            .collect();
+        drop(queue);
+        for rx in pending {
+            assert!(rx.recv().unwrap().is_ok(), "queued work drains on shutdown");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The TCP front end: a `std::net` accept loop framing [`RspService`].
+//!
+//! Deliberately boring: one OS thread per connection reading framed
+//! [`Request`]s and writing framed [`Response`]s (the environment has no
+//! async runtime — see the vendoring note in DESIGN.md §7).  All serving
+//! intelligence lives behind [`RspService::handle`]; this module only owns
+//! sockets and thread lifecycles.  [`Server::shutdown`] (also run on drop)
+//! closes the listener and every open connection, then joins all threads.
+
+use crate::protocol::{read_message, write_message, Request, WireError};
+use crate::service::RspService;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+struct ServerShared {
+    service: RspService,
+    shutdown: AtomicBool,
+    /// Clones of every live connection's stream, so shutdown can unblock
+    /// reader threads by closing their sockets.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A running TCP server.  Dropping it shuts the server down.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// accepting connections for `service`.
+    pub fn bind<A: ToSocketAddrs>(addr: A, service: RspService) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared =
+            Arc::new(ServerShared { service, shutdown: AtomicBool::new(false), conns: Mutex::new(Vec::new()) });
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_conn_threads = Arc::clone(&conn_threads);
+        let accept_thread = std::thread::Builder::new()
+            .name("rsp-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared, &accept_conn_threads))?;
+        Ok(Server { shared, addr, accept_thread: Some(accept_thread), conn_threads })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind this server (introspection for tests and stats).
+    pub fn service(&self) -> &RspService {
+        &self.shared.service
+    }
+
+    /// Stop accepting, close every open connection, and join all threads.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Unblock connection readers by closing their sockets.
+        for stream in self.shared.conns.lock().expect("server conns poisoned").drain(..) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let handles: Vec<JoinHandle<()>> =
+            self.conn_threads.lock().expect("server threads poisoned").drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>, threads: &Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("server conns poisoned").push(clone);
+        }
+        let conn_shared = Arc::clone(shared);
+        let spawned =
+            std::thread::Builder::new().name("rsp-conn".into()).spawn(move || serve_conn(stream, &conn_shared));
+        if let Ok(handle) = spawned {
+            threads.lock().expect("server threads poisoned").push(handle);
+        }
+    }
+}
+
+/// One connection: a strict request/response loop.  Returns (closing the
+/// connection) on peer disconnect, any framing error, or server shutdown.
+fn serve_conn(mut stream: TcpStream, shared: &Arc<ServerShared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let request: Request = match read_message(&mut stream) {
+            Ok(request) => request,
+            // A peer speaking garbage gets no reply we could frame reliably;
+            // closing the connection is the protocol's error signal.
+            Err(WireError::Closed) | Err(_) => return,
+        };
+        let response = shared.service.handle(request);
+        if write_message(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}

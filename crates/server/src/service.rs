@@ -1,0 +1,210 @@
+//! The in-process serving engine: configuration, typed entry points, and
+//! the [`Request`] → [`Response`] dispatcher shared by every front end.
+//!
+//! [`RspService`] is the whole subsystem minus transport: shards, session
+//! caches and admission queues, driven either directly (the in-process
+//! client — also what the `e12_server_load` bench measures) or through the
+//! TCP front end in [`server`](crate::server), which is a thin framing loop
+//! around [`RspService::handle`].
+
+use crate::protocol::{Request, Response, SceneId, ServerError, ServerStats};
+use crate::shard::ShardSet;
+use rsp_core::router::{Engine, Router};
+use rsp_geom::{Dist, ObstacleSet, Point, RectiPath};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning knobs for an [`RspService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of independent shards (default 1).
+    pub shards: usize,
+    /// Resident-session bound *per shard* (default 16).
+    pub session_capacity: usize,
+    /// Admission window: how long a batch stays open after its first query
+    /// (default 200 µs; zero dispatches eagerly).
+    pub batch_window: Duration,
+    /// Admission size budget: a batch dispatches as soon as it holds this
+    /// many queries (default 256).
+    pub batch_max: usize,
+    /// Engine for session construction (default [`Engine::Auto`]).
+    pub engine: Engine,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 1,
+            session_capacity: 16,
+            batch_window: Duration::from_micros(200),
+            batch_max: 256,
+            engine: Engine::Auto,
+        }
+    }
+}
+
+/// The sharded, batching query-serving engine over [`Router`] sessions.
+pub struct RspService {
+    shards: ShardSet,
+}
+
+impl RspService {
+    /// Assemble a service (shards, caches and queue workers spin up now).
+    pub fn new(config: ServiceConfig) -> Self {
+        RspService { shards: ShardSet::new(&config) }
+    }
+
+    /// Load (or touch) a scene on its shard; returns its wire id.
+    pub fn load_scene(&self, obstacles: &ObstacleSet) -> Result<SceneId, ServerError> {
+        let (scene, session) = self.shards.shard_for(obstacles.scene_hash()).sessions.load(obstacles);
+        session.map(|_| scene)
+    }
+
+    /// The cached session for a scene (introspection: tests use this to
+    /// certify that concurrent clients share one `Arc<Router>`).
+    pub fn session(&self, scene: SceneId) -> Result<Arc<Router>, ServerError> {
+        self.shards.shard_for(scene).sessions.lookup(scene)
+    }
+
+    /// One point-to-point length query, coalesced with concurrent queries on
+    /// the same shard into a single `Router` batch.
+    pub fn distance(&self, scene: SceneId, a: Point, b: Point) -> Result<Dist, ServerError> {
+        let shard = self.shards.shard_for(scene);
+        let router = shard.sessions.lookup(scene)?;
+        let rx = shard.queue.submit(router, a, b);
+        rx.recv().unwrap_or(Err(ServerError::ShuttingDown))
+    }
+
+    /// A pre-batched distance query, served by one
+    /// [`Router::distances`] call (no admission delay).
+    pub fn batch_distances(&self, scene: SceneId, pairs: &[(Point, Point)]) -> Result<Vec<Dist>, ServerError> {
+        let router = self.shards.shard_for(scene).sessions.lookup(scene)?;
+        router.distances(pairs).map_err(ServerError::from)
+    }
+
+    /// One vertex-pair path report.
+    pub fn path(&self, scene: SceneId, source: Point, target: Point) -> Result<RectiPath, ServerError> {
+        let router = self.shards.shard_for(scene).sessions.lookup(scene)?;
+        router.path(source, target).map_err(ServerError::from)
+    }
+
+    /// A pre-batched set of vertex-pair path reports.
+    pub fn batch_paths(&self, scene: SceneId, pairs: &[(Point, Point)]) -> Result<Vec<RectiPath>, ServerError> {
+        let router = self.shards.shard_for(scene).sessions.lookup(scene)?;
+        router.paths(pairs).map_err(ServerError::from)
+    }
+
+    /// Per-shard counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats { shards: self.shards.shards().iter().map(|s| s.stats()).collect() }
+    }
+
+    /// Drop a scene's session; returns whether it was resident.
+    pub fn evict(&self, scene: SceneId) -> bool {
+        self.shards.shard_for(scene).sessions.evict(scene)
+    }
+
+    /// Serve one wire request.  This is the single dispatch point every
+    /// transport shares; it never panics on client input — all failures
+    /// come back as [`Response::Error`].
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::LoadScene { obstacles } => match self.load_scene(&obstacles) {
+                Ok(scene) => Response::SceneLoaded { scene, obstacles: obstacles.len() },
+                Err(error) => Response::Error { error },
+            },
+            Request::Distance { scene, a, b } => match self.distance(scene, a, b) {
+                Ok(length) => Response::Distance { length },
+                Err(error) => Response::Error { error },
+            },
+            Request::Path { scene, source, target } => match self.path(scene, source, target) {
+                Ok(path) => Response::Path { path },
+                Err(error) => Response::Error { error },
+            },
+            Request::BatchDistances { scene, pairs } => match self.batch_distances(scene, &pairs) {
+                Ok(lengths) => Response::Distances { lengths },
+                Err(error) => Response::Error { error },
+            },
+            Request::BatchPaths { scene, pairs } => match self.batch_paths(scene, &pairs) {
+                Ok(paths) => Response::Paths { paths },
+                Err(error) => Response::Error { error },
+            },
+            Request::Stats => Response::Stats { stats: self.stats() },
+            Request::Evict { scene } => Response::Evicted { existed: self.evict(scene) },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_geom::Rect;
+    use rsp_workload::{query_pairs, uniform_disjoint};
+
+    fn service(shards: usize) -> RspService {
+        RspService::new(ServiceConfig { shards, batch_window: Duration::from_micros(100), ..ServiceConfig::default() })
+    }
+
+    #[test]
+    fn end_to_end_dispatch_matches_direct_router() {
+        let svc = service(2);
+        let w = uniform_disjoint(10, 23);
+        let scene = svc.load_scene(&w.obstacles).unwrap();
+        assert_eq!(scene, w.obstacles.scene_hash());
+        let direct = Router::new(w.obstacles.clone()).unwrap();
+        let mut pairs = query_pairs(&w.obstacles, 16, true, 7);
+        pairs.extend(query_pairs(&w.obstacles, 16, false, 8));
+        // Coalesced single queries.
+        for &(a, b) in &pairs {
+            assert_eq!(svc.distance(scene, a, b).unwrap(), direct.distance(a, b).unwrap());
+        }
+        // Pre-batched queries.
+        let batched = svc.batch_distances(scene, &pairs).unwrap();
+        assert_eq!(batched, direct.distances(&pairs).unwrap());
+        // Paths certify against distances.
+        let verts = w.obstacles.vertices();
+        let path = svc.path(scene, verts[0], verts[9]).unwrap();
+        assert_eq!(path.length(), direct.vertex_distance(verts[0], verts[9]).unwrap());
+        assert!(path.avoids(&w.obstacles));
+    }
+
+    #[test]
+    fn handle_maps_every_failure_to_a_typed_error_response() {
+        let svc = service(1);
+        let missing = 0xdead_beef;
+        assert_eq!(
+            svc.handle(Request::Distance { scene: missing, a: Point::new(0, 0), b: Point::new(1, 1) }),
+            Response::Error { error: ServerError::UnknownScene { scene: missing } }
+        );
+        let overlapping = ObstacleSet::new(vec![Rect::new(0, 0, 4, 4), Rect::new(2, 2, 6, 6)]);
+        match svc.handle(Request::LoadScene { obstacles: overlapping }) {
+            Response::Error { error: ServerError::OverlappingObstacles { violation } } => {
+                assert_eq!((violation.first, violation.second), (0, 1));
+            }
+            other => panic!("expected overlap error, got {other:?}"),
+        }
+        let scene = svc.load_scene(&ObstacleSet::new(vec![Rect::new(2, 2, 6, 10)])).unwrap();
+        match svc.handle(Request::Path { scene, source: Point::new(1, 1), target: Point::new(2, 2) }) {
+            Response::Error { error: ServerError::NotAVertex { point } } => assert_eq!(point, Point::new(1, 1)),
+            other => panic!("expected not-a-vertex error, got {other:?}"),
+        }
+        assert_eq!(svc.handle(Request::Evict { scene }), Response::Evicted { existed: true });
+        assert_eq!(svc.handle(Request::Evict { scene }), Response::Evicted { existed: false });
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let svc = service(4);
+        let mut loaded = 0;
+        for offset in 0..6i64 {
+            let scene = ObstacleSet::new(vec![Rect::new(offset * 10, 0, offset * 10 + 2, 3)]);
+            svc.load_scene(&scene).unwrap();
+            loaded += 1;
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.shards.len(), 4);
+        assert_eq!(stats.total_builds(), loaded);
+        assert_eq!(stats.total_resident(), loaded);
+        assert_eq!(stats.total_evictions(), 0);
+    }
+}

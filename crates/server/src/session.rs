@@ -1,0 +1,230 @@
+//! The session cache: `Arc<Router>` sessions keyed by scene hash, bounded
+//! LRU, build-once under concurrency.
+//!
+//! A *session* is a fully validated [`Router`] — the expensive part of
+//! serving (the `O(n^2)`-work oracle and friends hide behind it, built
+//! lazily).  The cache guarantees:
+//!
+//! * **Build-once:** two clients loading the same scene concurrently get the
+//!   same `Arc<Router>`, and the `Router` is constructed exactly once — the
+//!   map entry (an `Arc<OnceLock>`) is published under the map mutex, but
+//!   the construction itself runs *outside* that mutex inside
+//!   [`OnceLock::get_or_init`], so concurrent loads of *different* scenes
+//!   never serialise on each other.
+//! * **Bounded residency:** at most `capacity` sessions per cache; inserting
+//!   past the bound evicts the least-recently-used entry and counts it in
+//!   [`CacheStats::evictions`].
+//! * **Error caching:** a scene that fails validation (overlapping
+//!   obstacles) caches its typed error.  This is sound because the cache key
+//!   is the geometry hash — a *fixed* scene hashes differently and loads
+//!   fresh.
+
+use crate::protocol::{CacheStats, SceneId, ServerError};
+use rsp_core::router::{Engine, Router};
+use rsp_geom::ObstacleSet;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+type SessionCell = Arc<OnceLock<Result<Arc<Router>, ServerError>>>;
+
+struct Entry {
+    cell: SessionCell,
+    /// The geometry, kept so *any* resolver (a `load` racing another `load`,
+    /// or a `lookup` racing the initial build) can run the same build
+    /// closure inside `get_or_init` — whoever wins builds the identical
+    /// router, and the losers block until it is ready.  Without this, a
+    /// lookup racing the first load would need a fallback closure that could
+    /// win the init race and poison the cell with an error.
+    obstacles: Arc<ObstacleSet>,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<SceneId, Entry>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// A bounded, LRU-evicting cache of [`Router`] sessions keyed by
+/// [`ObstacleSet::scene_hash`].  One per shard.
+pub struct SessionCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    engine: Engine,
+}
+
+impl SessionCache {
+    /// A cache holding at most `capacity` sessions (at least 1), building
+    /// routers with the given engine.
+    pub fn new(capacity: usize, engine: Engine) -> Self {
+        SessionCache {
+            inner: Mutex::new(Inner { entries: HashMap::new(), tick: 0, stats: CacheStats::default() }),
+            capacity: capacity.max(1),
+            engine,
+        }
+    }
+
+    /// Resolve (building if necessary) the session for `obstacles`.
+    /// Returns the scene id alongside the session so callers can key
+    /// follow-up queries.
+    pub fn load(&self, obstacles: &ObstacleSet) -> (SceneId, Result<Arc<Router>, ServerError>) {
+        let scene = obstacles.scene_hash();
+        let (cell, stored) = {
+            let mut inner = self.inner.lock().expect("session cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.entries.get_mut(&scene) {
+                Some(entry) => {
+                    entry.last_used = tick;
+                    let hit = (Arc::clone(&entry.cell), Arc::clone(&entry.obstacles));
+                    inner.stats.hits += 1;
+                    hit
+                }
+                None => {
+                    inner.stats.misses += 1;
+                    if inner.entries.len() >= self.capacity {
+                        if let Some((&victim, _)) = inner.entries.iter().min_by_key(|(_, e)| e.last_used) {
+                            inner.entries.remove(&victim);
+                            inner.stats.evictions += 1;
+                        }
+                    }
+                    let cell: SessionCell = Arc::new(OnceLock::new());
+                    let stored = Arc::new(obstacles.clone());
+                    inner.entries.insert(
+                        scene,
+                        Entry { cell: Arc::clone(&cell), obstacles: Arc::clone(&stored), last_used: tick },
+                    );
+                    inner.stats.resident = inner.entries.len() as u64;
+                    (cell, stored)
+                }
+            }
+        };
+        (scene, self.resolve(&cell, &stored))
+    }
+
+    /// Resolve an already-loaded scene.  [`ServerError::UnknownScene`] when
+    /// the scene was never loaded or has been evicted.
+    pub fn lookup(&self, scene: SceneId) -> Result<Arc<Router>, ServerError> {
+        let (cell, stored) = {
+            let mut inner = self.inner.lock().expect("session cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.entries.get_mut(&scene) {
+                Some(entry) => {
+                    entry.last_used = tick;
+                    let hit = (Arc::clone(&entry.cell), Arc::clone(&entry.obstacles));
+                    inner.stats.hits += 1;
+                    hit
+                }
+                None => return Err(ServerError::UnknownScene { scene }),
+            }
+        };
+        self.resolve(&cell, &stored)
+    }
+
+    /// Build (or wait for the concurrent builder of) a session, outside the
+    /// map lock.  Every resolver passes the same build closure, so whichever
+    /// thread wins `get_or_init` constructs the identical router exactly
+    /// once per residency; the losers block until it is ready.
+    fn resolve(&self, cell: &SessionCell, obstacles: &Arc<ObstacleSet>) -> Result<Arc<Router>, ServerError> {
+        cell.get_or_init(|| {
+            Router::builder((**obstacles).clone()).engine(self.engine).build().map(Arc::new).map_err(ServerError::from)
+        })
+        .clone()
+    }
+
+    /// Drop a scene's session.  Returns whether it was resident.  In-flight
+    /// queries holding the `Arc<Router>` keep it alive until they finish.
+    pub fn evict(&self, scene: SceneId) -> bool {
+        let mut inner = self.inner.lock().expect("session cache poisoned");
+        let existed = inner.entries.remove(&scene).is_some();
+        inner.stats.resident = inner.entries.len() as u64;
+        existed
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("session cache poisoned");
+        let mut stats = inner.stats;
+        stats.resident = inner.entries.len() as u64;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_geom::Rect;
+    use std::thread;
+
+    fn scene(offset: i64) -> ObstacleSet {
+        ObstacleSet::new(vec![Rect::new(offset, 0, offset + 2, 4), Rect::new(offset + 4, 1, offset + 7, 5)])
+    }
+
+    #[test]
+    fn concurrent_loads_share_one_build() {
+        let cache = Arc::new(SessionCache::new(4, Engine::Auto));
+        let obstacles = scene(0);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cache = Arc::clone(&cache);
+            let obstacles = obstacles.clone();
+            handles.push(thread::spawn(move || cache.load(&obstacles).1.unwrap()));
+        }
+        let routers: Vec<Arc<Router>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &routers[1..] {
+            assert!(Arc::ptr_eq(&routers[0], r), "all loads share one session");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "one build for four concurrent loads");
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.resident, 1);
+        // The router itself also certifies build-once.
+        let _ = routers[0].distance(rsp_geom::Point::new(-5, -5), rsp_geom::Point::new(20, 20)).unwrap();
+        assert_eq!(routers[0].build_counts().oracle_builds, 1);
+    }
+
+    #[test]
+    fn lru_bound_evicts_oldest() {
+        let cache = SessionCache::new(2, Engine::Auto);
+        let (id0, r0) = cache.load(&scene(0));
+        assert!(r0.is_ok());
+        let (id1, _) = cache.load(&scene(100));
+        // Touch scene 0 so scene 100 is the LRU victim.
+        assert!(cache.lookup(id0).is_ok());
+        let (id2, r2) = cache.load(&scene(200));
+        assert!(r2.is_ok());
+        let stats = cache.stats();
+        assert_eq!(stats.resident, 2, "capacity bound holds");
+        assert_eq!(stats.evictions, 1);
+        assert!(cache.lookup(id0).is_ok());
+        assert!(cache.lookup(id2).is_ok());
+        assert_eq!(cache.lookup(id1).err(), Some(ServerError::UnknownScene { scene: id1 }));
+        // Re-loading the evicted scene is a fresh build.
+        assert!(cache.load(&scene(100)).1.is_ok());
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn invalid_scenes_cache_their_typed_error() {
+        let cache = SessionCache::new(4, Engine::Auto);
+        let bad = ObstacleSet::new(vec![Rect::new(0, 0, 4, 4), Rect::new(2, 2, 6, 6)]);
+        let (id, first) = cache.load(&bad);
+        let err = first.err().unwrap();
+        assert!(matches!(err, ServerError::OverlappingObstacles { violation } if violation.first == 0));
+        // The second load hits the cached error without revalidating.
+        let (_, second) = cache.load(&bad);
+        assert_eq!(second.err(), cache.lookup(id).err());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn evict_and_unknown_lookup() {
+        let cache = SessionCache::new(4, Engine::Auto);
+        let (id, _) = cache.load(&scene(0));
+        assert!(cache.evict(id));
+        assert!(!cache.evict(id));
+        assert_eq!(cache.lookup(id).err(), Some(ServerError::UnknownScene { scene: id }));
+        assert_eq!(cache.stats().resident, 0);
+    }
+}

@@ -15,6 +15,10 @@
 //!   divide-and-conquer, APSP, oracle, path trees) for research and
 //!   benchmarking.
 //!
+//! A third layer, [`server`], wraps `Router` sessions in a sharded,
+//! batching query-serving subsystem (wire protocol, LRU session cache,
+//! admission coalescing, TCP front end) — see `rsp_server`'s crate docs.
+//!
 //! ## Quickstart
 //!
 //! One `Router` session serves every query kind; each substructure (vertex
@@ -68,6 +72,7 @@ pub use rsp_geom as geom;
 pub use rsp_monge as monge;
 pub use rsp_pram as pram;
 pub use rsp_render as render;
+pub use rsp_server as server;
 pub use rsp_workload as workload;
 
 // The session layer: everything a typical application needs, importable

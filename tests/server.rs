@@ -1,0 +1,172 @@
+//! Integration tests for the `rsp-server` serving subsystem: concurrent
+//! TCP clients sharing build-once sessions, coalesced answers agreeing
+//! bitwise with direct `Router` calls, the LRU residency bound over the
+//! wire, and (property-based) the `RspError` → `ServerError` wire mapping
+//! preserving every variant's evidence through serialisation.
+
+use proptest::prelude::*;
+use rectilinear_shortest_paths::geom::DisjointnessViolation;
+use rectilinear_shortest_paths::server::{Client, RspService, Server, ServerError, ServiceConfig};
+use rectilinear_shortest_paths::workload::{query_pairs, uniform_disjoint};
+use rectilinear_shortest_paths::{ObstacleSet, Point, Rect, Router, RspError};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Three concurrent TCP clients over two scenes: every answer (coalesced
+/// singles, pre-batched, paths) must agree with a direct `Router` on the
+/// same geometry, and the two scenes must build exactly twice no matter
+/// how many clients load them.
+#[test]
+fn three_concurrent_clients_share_two_sessions() {
+    let scene_a = uniform_disjoint(8, 101).obstacles;
+    let scene_b = uniform_disjoint(8, 202).obstacles;
+    let direct_a = Router::new(scene_a.clone()).unwrap();
+    let direct_b = Router::new(scene_b.clone()).unwrap();
+
+    let config = ServiceConfig { shards: 2, batch_window: Duration::from_micros(100), ..ServiceConfig::default() };
+    let mut server = Server::bind("127.0.0.1:0", RspService::new(config)).unwrap();
+    let addr = server.addr();
+
+    // Clients 0 and 1 hammer scene A (their loads must share one session);
+    // client 2 works scene B.
+    let mut handles = Vec::new();
+    for worker in 0..3usize {
+        let (obstacles, direct_seed) = if worker < 2 { (scene_a.clone(), 101u64) } else { (scene_b.clone(), 202) };
+        handles.push(thread::spawn(move || {
+            let direct = Router::new(obstacles.clone()).unwrap();
+            let mut client = Client::connect(addr).unwrap();
+            let scene = client.load_scene(&obstacles).unwrap();
+            assert_eq!(scene, obstacles.scene_hash());
+
+            // Coalesced single queries: bitwise-identical to direct calls.
+            let mut pairs = query_pairs(&obstacles, 12, true, direct_seed + worker as u64);
+            pairs.extend(query_pairs(&obstacles, 12, false, direct_seed + 10 + worker as u64));
+            for &(a, b) in &pairs {
+                assert_eq!(client.distance(scene, a, b).unwrap(), direct.distance(a, b).unwrap(), "{a:?}->{b:?}");
+            }
+
+            // Pre-batched queries: index-aligned and identical.
+            assert_eq!(client.batch_distances(scene, &pairs).unwrap(), direct.distances(&pairs).unwrap());
+
+            // A path certifies against the distance it claims.
+            let verts = obstacles.vertices();
+            let path = client.path(scene, verts[0], verts[verts.len() - 1]).unwrap();
+            assert_eq!(path.length(), direct.vertex_distance(verts[0], verts[verts.len() - 1]).unwrap());
+            assert!(path.avoids(&obstacles));
+            scene
+        }));
+    }
+    let scenes: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(scenes[0], scenes[1], "clients 0 and 1 share a scene id");
+    assert_ne!(scenes[0], scenes[2]);
+
+    // Two distinct scenes, three clients: exactly two Router builds.
+    let stats = server.service().stats();
+    assert_eq!(stats.total_builds(), 2, "{stats:?}");
+    assert_eq!(stats.total_resident(), 2);
+
+    // The resident sessions are the ones every client used, built once each
+    // (BuildCounts certifies the lazy substructures), and repeated lookups
+    // hand out the same `Arc<Router>`.
+    let session_a = server.service().session(scenes[0]).unwrap();
+    assert!(Arc::ptr_eq(&session_a, &server.service().session(scenes[0]).unwrap()));
+    assert_eq!(session_a.build_counts().oracle_builds, 1);
+    let session_b = server.service().session(scenes[2]).unwrap();
+    assert_eq!(session_b.build_counts().oracle_builds, 1);
+    assert_eq!(
+        session_a.distance(Point::new(0, 0), Point::new(3, 3)),
+        direct_a.distance(Point::new(0, 0), Point::new(3, 3))
+    );
+    assert_eq!(
+        session_b.distance(Point::new(0, 0), Point::new(3, 3)),
+        direct_b.distance(Point::new(0, 0), Point::new(3, 3))
+    );
+
+    // Wire-level stats and evict agree with the service view.
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.stats().unwrap().total_resident(), 2);
+    assert!(client.evict(scenes[0]).unwrap());
+    assert!(!client.evict(scenes[0]).unwrap());
+    match client.distance(scenes[0], Point::new(0, 0), Point::new(1, 1)) {
+        Err(e) => assert_eq!(
+            format!("{e}"),
+            format!("server error: scene {:#018x} is not resident (load it first)", scenes[0])
+        ),
+        Ok(d) => panic!("evicted scene still answered: {d}"),
+    }
+    server.shutdown();
+}
+
+/// The session cache's LRU bound holds over the wire: a one-shard server
+/// with capacity 2 stays at two resident sessions while a client cycles
+/// through four scenes.
+#[test]
+fn lru_bound_caps_resident_sessions_over_tcp() {
+    let config = ServiceConfig { shards: 1, session_capacity: 2, ..ServiceConfig::default() };
+    let mut server = Server::bind("127.0.0.1:0", RspService::new(config)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let mut ids = Vec::new();
+    for offset in 0..4i64 {
+        let obstacles = ObstacleSet::new(vec![Rect::new(offset * 20, 0, offset * 20 + 3, 5)]);
+        let scene = client.load_scene(&obstacles).unwrap();
+        // The freshly loaded scene is usable immediately.
+        let d = client.distance(scene, Point::new(offset * 20 - 2, 0), Point::new(offset * 20 + 5, 5)).unwrap();
+        assert!(d > 0);
+        ids.push(scene);
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.total_resident(), 2, "{stats:?}");
+    assert_eq!(stats.total_evictions(), 2);
+    assert_eq!(stats.total_builds(), 4);
+    // The two most recent scenes survived; the oldest was evicted.
+    assert!(server.service().session(ids[3]).is_ok());
+    assert_eq!(server.service().session(ids[0]).err(), Some(ServerError::UnknownScene { scene: ids[0] }));
+    server.shutdown();
+}
+
+/// Build one of each `RspError` variant from sampled evidence.
+fn rsp_error_from(selector: u8, x: i64, y: i64, id_a: usize, id_b: usize) -> RspError {
+    match selector % 7 {
+        0 => RspError::OverlappingObstacles(DisjointnessViolation {
+            first: id_a,
+            second: id_b,
+            first_rect: Rect::new(x, y, x + 2, y + 2),
+            second_rect: Rect::new(x + 1, y + 1, x + 3, y + 3),
+        }),
+        1 => RspError::ObstacleOutsideContainer(id_a),
+        2 => RspError::ContainerNotConvex,
+        3 => RspError::NotAVertex(Point::new(x, y)),
+        4 => RspError::PointOutsideContainer(Point::new(x, y)),
+        5 => RspError::PointInsideObstacle { point: Point::new(x, y), obstacle: id_b },
+        _ => RspError::ThreadPool(format!("pool of {id_a} threads unavailable")),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every `RspError` variant maps onto a `ServerError`, survives a
+    /// serialize → deserialize round trip bit-for-bit, and maps back to an
+    /// `RspError` rendering identically (the evidence is intact).
+    #[test]
+    fn every_rsp_error_survives_the_wire(
+        selector in 0u8..7,
+        x in -1000i64..1000,
+        y in -1000i64..1000,
+        id_a in 0usize..10_000,
+        id_b in 0usize..10_000,
+    ) {
+        let original = rsp_error_from(selector, x, y, id_a, id_b);
+        let wire = ServerError::from(original.clone());
+        let json = serde_json::to_string(&wire).expect("serialise");
+        let decoded: ServerError = serde_json::from_str(&json).expect("deserialise");
+        prop_assert_eq!(&decoded, &wire);
+        // The evidence survives: mapping back yields an error that renders
+        // exactly like the original (Display carries every field).
+        let back = decoded.into_rsp().expect("mirrored variants map back");
+        prop_assert_eq!(format!("{back}"), format!("{original}"));
+        prop_assert_eq!(format!("{}", ServerError::from(back)), format!("{wire}"));
+    }
+}

@@ -5,7 +5,9 @@
 //! rebuilds it from one, and the companion `serde_json` stub converts
 //! [`Value`] to and from JSON text.  The derive macros (re-exported from the
 //! vendored `serde_derive`) support structs with named fields and enums with
-//! unit variants, which is every type this workspace serialises.
+//! unit or named-field variants (externally tagged, like upstream serde),
+//! which is every type this workspace serialises — including the
+//! `rsp-server` wire protocol's data-carrying request/response enums.
 
 pub use serde_derive::{Deserialize, Serialize};
 

@@ -1,21 +1,31 @@
 //! Vendored minimal `serde_derive` (offline build).
 //!
-//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the two
-//! shapes this workspace actually serialises — structs with named fields and
-//! enums with unit variants — by hand-parsing the item's token stream (no
-//! `syn`/`quote` available offline) and emitting the impl as source text.
-//! Anything fancier (generics, tuple structs, data-carrying variants,
-//! `#[serde(...)]` attributes) is rejected with a compile error so a future
-//! use is caught loudly rather than miscompiled.
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually serialises — structs with named fields,
+//! enums with unit variants, and enums with named-field (struct) variants —
+//! by hand-parsing the item's token stream (no `syn`/`quote` available
+//! offline) and emitting the impl as source text.  The enum encoding matches
+//! upstream serde's externally-tagged default: a unit variant serialises as
+//! the string `"Variant"`, a struct variant as the one-key object
+//! `{"Variant": {fields...}}`.  Anything fancier (generics, tuple structs,
+//! tuple variants, `#[serde(...)]` attributes) is rejected with a compile
+//! error so a future use is caught loudly rather than miscompiled.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One enum variant: its name plus its named fields (`None` for a unit
+/// variant, `Some(fields)` for a `Variant { field, ... }` struct variant).
+struct Variant {
+    name: String,
+    fields: Option<Vec<String>>,
+}
 
 /// What we managed to parse out of the item the derive is attached to.
 enum Item {
     /// `struct Name { field, ... }`
     Struct { name: String, fields: Vec<String> },
-    /// `enum Name { Variant, ... }` (unit variants only)
-    Enum { name: String, variants: Vec<String> },
+    /// `enum Name { Unit, Struct { field, ... }, ... }`
+    Enum { name: String, variants: Vec<Variant> },
 }
 
 fn parse_item(input: TokenStream) -> Result<Item, String> {
@@ -60,7 +70,7 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     };
     match kind.as_str() {
         "struct" => Ok(Item::Struct { name, fields: parse_named_fields(body)? }),
-        "enum" => Ok(Item::Enum { name, variants: parse_unit_variants(body)? }),
+        "enum" => Ok(Item::Enum { name, variants: parse_variants(body)? }),
         other => Err(format!("cannot derive for `{other}` items")),
     }
 }
@@ -111,7 +121,7 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
     Ok(fields)
 }
 
-fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
     let mut variants = Vec::new();
     let mut iter = body.into_iter().peekable();
     loop {
@@ -123,21 +133,29 @@ fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
                 break;
             }
         }
-        let variant = match iter.next() {
+        let name = match iter.next() {
             None => break,
             Some(TokenTree::Ident(id)) => id.to_string(),
             other => return Err(format!("expected variant name, got {other:?}")),
         };
-        match iter.next() {
-            None => {
-                variants.push(variant);
-                break;
+        // Optional payload: a braced group of named fields.  Tuple variants
+        // (parenthesised payloads) stay unsupported.
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                iter.next();
+                Some(parse_named_fields(stream)?)
             }
-            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
             Some(TokenTree::Group(_)) => {
-                return Err(format!("derive supports only unit enum variants (variant `{variant}` carries data)"))
+                return Err(format!("derive supports only unit or named-field enum variants (variant `{name}`)"))
             }
-            other => return Err(format!("unexpected token after variant `{variant}`: {other:?}")),
+            _ => None,
+        };
+        variants.push(Variant { name, fields });
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => return Err(format!("unexpected token after variant: {other:?}")),
         }
     }
     Ok(variants)
@@ -172,7 +190,26 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Item::Enum { name, variants } => {
             let arms: Vec<String> = variants
                 .iter()
-                .map(|v| format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"))
+                .map(|v| match &v.fields {
+                    None => {
+                        let vn = &v.name;
+                        format!("{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?}))")
+                    }
+                    Some(fields) => {
+                        let vn = &v.name;
+                        let binds = fields.join(", ");
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"))
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Obj(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Obj(::std::vec![{}]))])",
+                            pairs.join(", ")
+                        )
+                    }
+                })
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
@@ -208,19 +245,51 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
         Item::Enum { name, variants } => {
-            let arms: Vec<String> =
-                variants.iter().map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})")).collect();
+            // Each arm list may be empty (an all-unit or all-data enum), so
+            // every generated arm carries its own trailing comma and each
+            // inner match ends in a catch-all `other` arm.
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n")
+                })
+                .collect();
+            let struct_arms: String = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|fields| (&v.name, fields)))
+                .map(|(vn, fields)| {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::Deserialize::from_value(body.get_field({f:?})?)?"))
+                        .collect();
+                    format!("{vn:?} => ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n", inits.join(", "))
+                })
+                .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
-                         match v.as_str()? {{\n\
-                             {},\n\
+                         match v {{\n\
+                             ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::Error(\n\
+                                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Obj(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, body) = &entries[0];\n\
+                                 let _ = body;\n\
+                                 match tag.as_str() {{\n\
+                                     {struct_arms}\
+                                     other => ::std::result::Result::Err(::serde::Error(\n\
+                                         ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
                              other => ::std::result::Result::Err(::serde::Error(\n\
-                                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 ::std::format!(\"expected {name} variant, got {{other:?}}\"))),\n\
                          }}\n\
                      }}\n\
                  }}",
-                arms.join(",\n")
             )
         }
     };

@@ -1,0 +1,62 @@
+//! Round-trip tests for the derive support for data-carrying enum variants
+//! (added for the `rsp-server` wire protocol): unit variants serialise as a
+//! bare string, named-field variants as an externally tagged one-key object,
+//! exactly like upstream serde's default representation.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct Payload {
+    id: u64,
+    label: String,
+}
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+enum Message {
+    Ping,
+    Data { payload: Payload, urgent: bool },
+    Nums { values: Vec<i64> },
+    Close,
+}
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+enum AllData {
+    One { x: i64 },
+    Two { x: i64, y: i64 },
+}
+
+fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: &T) -> String {
+    let text = serde_json::to_string(v).unwrap();
+    let back: T = serde_json::from_str(&text).unwrap();
+    assert_eq!(&back, v, "round-trip through {text}");
+    text
+}
+
+#[test]
+fn unit_variants_stay_bare_strings() {
+    assert_eq!(roundtrip(&Message::Ping), "\"Ping\"");
+    assert_eq!(roundtrip(&Message::Close), "\"Close\"");
+}
+
+#[test]
+fn struct_variants_are_externally_tagged() {
+    let msg = Message::Data { payload: Payload { id: 7, label: "hi".into() }, urgent: true };
+    let text = roundtrip(&msg);
+    assert_eq!(text, "{\"Data\":{\"payload\":{\"id\":7,\"label\":\"hi\"},\"urgent\":true}}");
+    let nums = Message::Nums { values: vec![-3, 0, 9] };
+    assert_eq!(roundtrip(&nums), "{\"Nums\":{\"values\":[-3,0,9]}}");
+}
+
+#[test]
+fn enums_without_unit_variants_work() {
+    roundtrip(&AllData::One { x: -1 });
+    roundtrip(&AllData::Two { x: 1, y: 2 });
+}
+
+#[test]
+fn unknown_and_malformed_variants_error() {
+    assert!(serde_json::from_str::<Message>("\"Pong\"").is_err());
+    assert!(serde_json::from_str::<Message>("{\"Data\":{}}").is_err());
+    assert!(serde_json::from_str::<Message>("{\"Ping\":{},\"Close\":{}}").is_err());
+    assert!(serde_json::from_str::<Message>("17").is_err());
+}
