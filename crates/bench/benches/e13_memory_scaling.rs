@@ -1,0 +1,76 @@
+//! E13 — breaking the O(n²) memory wall: dense vs implicit distance store.
+//!
+//! The dense APSP matrix costs `(4n)² × 8` bytes — 512 MiB at n = 2048, 2 GiB
+//! at n = 4096 — while the implicit store holds only the staircase sweep
+//! structures plus a byte-budgeted LRU of materialised rows.  This bench
+//! charts what that trade costs at query time as `n` grows:
+//!
+//! * `implicit_warm` — 256 vertex-pair queries against an implicit store
+//!   whose touched rows are already resident (the steady-state hot-tenant
+//!   path; should track the dense fast path to within the row-cache lookup).
+//! * `implicit_churn` — the same batch against a two-row budget, so nearly
+//!   every query re-materialises its row via an on-demand sweep (the
+//!   worst-case cold-tenant path; this is the price of fitting in memory).
+//!   Only run at n ≤ 1024 — a single churned batch is ~n sweeps, seconds of
+//!   wall clock at n = 4096, and three points already chart the slope.
+//! * `dense` — the `MinPlusMatrix` fast path, as the floor.  Only run at
+//!   n ≤ 1024: beyond that the dense build itself is the wall this
+//!   experiment exists to avoid.
+//!
+//! Resident-set arithmetic (store bytes vs dense bytes) is printed per size
+//! outside the timers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsp_core::router::Router;
+use rsp_core::store::{default_budget_bytes, StoreKind};
+use rsp_geom::{Dist, ObstacleSet};
+use rsp_workload::{query_pairs, uniform_disjoint};
+
+fn router(obstacles: &ObstacleSet, store: StoreKind) -> Router {
+    Router::builder(obstacles.clone()).store(store).build().expect("workload scenes are valid")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_memory_scaling");
+    for &n in &[256usize, 512, 1024, 2048, 4096] {
+        let w = uniform_disjoint(n, 5);
+        let batch = query_pairs(&w.obstacles, 256, true, 1);
+
+        // "Warm" must mean warm: the batch touches up to 256 distinct source
+        // rows, and below n = 1024 the default budget holds fewer than that,
+        // which would turn this arm into a thrash benchmark.  Size the budget
+        // to keep the batch resident (never below the deployment default).
+        let row_bytes = 4 * n * std::mem::size_of::<Dist>();
+        let warm_budget = default_budget_bytes(n).max(260 * row_bytes);
+        let warm = router(&w.obstacles, StoreKind::Implicit { budget_bytes: warm_budget });
+        let _ = warm.distances(&batch).unwrap(); // materialise the touched rows outside the timer
+        group.bench_with_input(BenchmarkId::new("implicit_warm", n), &n, |b, _| {
+            b.iter(|| warm.distances(&batch).unwrap().iter().sum::<Dist>())
+        });
+        let stats = warm.memory_stats();
+        eprintln!(
+            "e13 n={n}: implicit resident {} KiB of {} KiB budget; dense would be {} KiB",
+            stats.resident_bytes >> 10,
+            stats.budget_bytes >> 10,
+            stats.dense_bytes >> 10
+        );
+
+        if n <= 1024 {
+            let churn = router(&w.obstacles, StoreKind::Implicit { budget_bytes: 2 * row_bytes });
+            let _ = churn.distances(&batch).unwrap(); // pay the engine's one-time build
+            group.bench_with_input(BenchmarkId::new("implicit_churn", n), &n, |b, _| {
+                b.iter(|| churn.distances(&batch).unwrap().iter().sum::<Dist>())
+            });
+
+            let dense = router(&w.obstacles, StoreKind::Dense);
+            let _ = dense.distances(&batch).unwrap(); // pay the dense APSP build
+            group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+                b.iter(|| dense.distances(&batch).unwrap().iter().sum::<Dist>())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -12,20 +12,25 @@
 
 use crate::instance::Instance;
 use crate::seq::SingleSourceEngine;
+use crate::store::DistanceStore;
 use rayon::prelude::*;
 use rsp_geom::{Dist, ObstacleSet, Point, INF};
 use rsp_monge::MinPlusMatrix;
 use std::collections::HashMap;
 
-/// The `V_R`-to-`V_R` path-length matrix plus the point-to-index mapping.
+/// The `V_R`-to-`V_R` path-length structure plus the point-to-index mapping.
+/// Distances live behind a pluggable [`DistanceStore`]: the dense matrix the
+/// paper materialises, or the implicit byte-budgeted row store for scenes
+/// where `O(n^2)` memory is the wall.  Both backends answer bitwise
+/// identically (see [`crate::store`]).
 pub struct VertexApsp {
     vertices: Vec<Point>,
     index_of: HashMap<Point, usize>,
-    matrix: MinPlusMatrix,
+    store: DistanceStore,
 }
 
 impl VertexApsp {
-    /// Build the matrix, parallelising over the `4n` sources.
+    /// Build the dense matrix, parallelising over the `4n` sources.
     pub fn build(obstacles: &ObstacleSet) -> Self {
         let engine = SingleSourceEngine::new(obstacles);
         let vertices = engine.vertices().to_vec();
@@ -33,13 +38,28 @@ impl VertexApsp {
         Self::from_rows(vertices, rows)
     }
 
-    /// Build the matrix sequentially (the Section 9 baseline); used by the
-    /// E8 experiment for the parallel-vs-sequential comparison.
+    /// Build the dense matrix sequentially (the Section 9 baseline); used by
+    /// the E8 experiment for the parallel-vs-sequential comparison.
     pub fn build_sequential(obstacles: &ObstacleSet) -> Self {
         let engine = SingleSourceEngine::new(obstacles);
         let vertices = engine.vertices().to_vec();
         let rows: Vec<Vec<Dist>> = vertices.iter().map(|&v| engine.distances_from(v)).collect();
         Self::from_rows(vertices, rows)
+    }
+
+    /// Build an *implicit* structure: no matrix is materialised; distance
+    /// rows are generated on demand by the same single-source engine the
+    /// dense builders fan out over, and cached under `budget_bytes`.
+    pub fn build_implicit(obstacles: &ObstacleSet, budget_bytes: usize) -> Self {
+        let store = DistanceStore::implicit_sweep(obstacles, budget_bytes);
+        Self::from_store(obstacles.vertices(), store)
+    }
+
+    /// Implicit structure over the Hanan-grid Dijkstra row generator (the
+    /// baseline comparator's counterpart of [`VertexApsp::build_implicit`]).
+    pub fn build_implicit_hanan(obstacles: &ObstacleSet, budget_bytes: usize) -> Self {
+        let store = DistanceStore::implicit_hanan(obstacles, budget_bytes);
+        Self::from_store(obstacles.vertices(), store)
     }
 
     /// Wrap an externally computed `V_R`-to-`V_R` matrix (rows/columns in
@@ -48,20 +68,22 @@ impl VertexApsp {
     pub fn from_matrix(vertices: Vec<Point>, matrix: MinPlusMatrix) -> Self {
         assert_eq!(matrix.rows(), vertices.len(), "matrix rows must match the vertex count");
         assert_eq!(matrix.cols(), vertices.len(), "matrix cols must match the vertex count");
+        Self::from_store(vertices, DistanceStore::dense(matrix))
+    }
+
+    /// Wrap any [`DistanceStore`] whose row/column space is `vertices`.
+    pub fn from_store(vertices: Vec<Point>, store: DistanceStore) -> Self {
+        assert_eq!(store.dim(), vertices.len(), "store dimension must match the vertex count");
         let mut index_of = HashMap::with_capacity(vertices.len());
         for (i, &p) in vertices.iter().enumerate() {
             index_of.entry(p).or_insert(i);
         }
-        VertexApsp { vertices, index_of, matrix }
+        VertexApsp { vertices, index_of, store }
     }
 
     fn from_rows(vertices: Vec<Point>, rows: Vec<Vec<Dist>>) -> Self {
-        let mut index_of = HashMap::with_capacity(vertices.len());
-        for (i, &p) in vertices.iter().enumerate() {
-            index_of.entry(p).or_insert(i);
-        }
         let matrix = MinPlusMatrix::from_rows(rows);
-        VertexApsp { vertices, index_of, matrix }
+        Self::from_store(vertices, DistanceStore::dense(matrix))
     }
 
     /// Convenience constructor from an [`Instance`].
@@ -84,16 +106,18 @@ impl VertexApsp {
         self.vertices.is_empty()
     }
 
-    /// O(1) length query between two vertices given by index.
+    /// Length query between two vertices given by index: `O(1)` for the
+    /// dense store and for implicit-resident rows; one single-source sweep
+    /// on an implicit row miss.
     pub fn distance(&self, i: usize, j: usize) -> Dist {
-        self.matrix.get(i, j)
+        self.store.at(i, j)
     }
 
-    /// O(1) length query between two obstacle vertices given as points.
+    /// Length query between two obstacle vertices given as points.
     /// Returns `INF` if either point is not an obstacle vertex.
     pub fn distance_between(&self, a: Point, b: Point) -> Dist {
         match (self.index_of.get(&a), self.index_of.get(&b)) {
-            (Some(&i), Some(&j)) => self.matrix.get(i, j),
+            (Some(&i), Some(&j)) => self.store.at(i, j),
             _ => INF,
         }
     }
@@ -103,9 +127,20 @@ impl VertexApsp {
         self.index_of.get(&p).copied()
     }
 
-    /// The underlying matrix.
-    pub fn matrix(&self) -> &MinPlusMatrix {
-        &self.matrix
+    /// The underlying dense matrix, when this structure has one (`None` for
+    /// the implicit store, which never materialises it).
+    pub fn matrix(&self) -> Option<&MinPlusMatrix> {
+        self.store.as_dense()
+    }
+
+    /// The distance storage backend.
+    pub fn store(&self) -> &DistanceStore {
+        &self.store
+    }
+
+    /// Memory accounting snapshot of the distance store.
+    pub fn store_stats(&self) -> crate::store::StoreStats {
+        self.store.stats()
     }
 }
 
@@ -172,7 +207,7 @@ mod tests {
         let obs = obstacles();
         let par = VertexApsp::build(&obs);
         let seq = VertexApsp::build_sequential(&obs);
-        assert_eq!(par.matrix(), seq.matrix());
+        assert_eq!(par.matrix().expect("dense build"), seq.matrix().expect("dense build"));
         let verts = obs.vertices();
         let truth = ground_truth_matrix(&obs, &verts);
         for i in 0..verts.len() {
@@ -180,6 +215,29 @@ mod tests {
                 assert_eq!(par.distance(i, j), truth[i][j], "{:?} -> {:?}", verts[i], verts[j]);
             }
         }
+    }
+
+    #[test]
+    fn implicit_store_is_bitwise_equal_to_dense() {
+        let obs = obstacles();
+        let dense = VertexApsp::build(&obs);
+        // A deliberately tiny budget (two rows) exercises eviction churn.
+        let row_bytes = dense.len() * std::mem::size_of::<Dist>();
+        let implicit = VertexApsp::build_implicit(&obs, 2 * row_bytes);
+        assert!(implicit.matrix().is_none(), "implicit store never materialises the matrix");
+        assert_eq!(implicit.len(), dense.len());
+        for i in 0..dense.len() {
+            for j in 0..dense.len() {
+                assert_eq!(implicit.distance(i, j), dense.distance(i, j), "({i},{j})");
+            }
+        }
+        let stats = implicit.store_stats();
+        assert!(stats.resident_bytes <= 2 * row_bytes);
+        assert!(stats.resident_bytes < stats.dense_bytes);
+        // Point-based lookups route through the same store.
+        let a = Point::new(4, 3);
+        let b = Point::new(6, 2);
+        assert_eq!(implicit.distance_between(a, b), dense.distance_between(a, b));
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! experiment measures against the explicit `O(N^2)` matrix — is identical).
 
 use crate::query::PathLengthOracle;
+use crate::store::StoreKind;
 use rsp_geom::{Dist, ObstacleSet, Point, Rect, INF};
+use std::sync::Arc;
 
 /// The implicit boundary structure of Section 7.
 pub struct BigPolygonStructure {
@@ -40,7 +42,25 @@ impl BigPolygonStructure {
     /// assignment plus the oracle construction; nothing quadratic in `N` is
     /// ever allocated.
     pub fn build(obstacles: &ObstacleSet, container: Rect, container_vertices: usize) -> Self {
-        let oracle = PathLengthOracle::build(obstacles);
+        Self::build_with_store(obstacles, container, container_vertices, StoreKind::Dense)
+    }
+
+    /// [`BigPolygonStructure::build`] with an explicit distance-store choice
+    /// for the inner oracle.  Section 7 already keeps the *boundary* side
+    /// implicit; [`StoreKind::Implicit`] extends that to the vertex matrix,
+    /// so nothing quadratic in `n` is materialised either.
+    pub fn build_with_store(
+        obstacles: &ObstacleSet,
+        container: Rect,
+        container_vertices: usize,
+        store: StoreKind,
+    ) -> Self {
+        let oracle = match store.resolve(obstacles.len()) {
+            StoreKind::Implicit { budget_bytes } => {
+                PathLengthOracle::build_implicit_arc(Arc::new(obstacles.clone()), budget_bytes)
+            }
+            _ => PathLengthOracle::build(obstacles),
+        };
         let env = obstacles.bbox().unwrap_or(container);
         let mut k_points = Vec::new();
         for x in obstacles.xs() {
@@ -128,6 +148,27 @@ mod tests {
                 assert_eq!(big.boundary_distance(p, t), expect, "{:?} -> {:?}", p, t);
             }
         }
+    }
+
+    #[test]
+    fn implicit_store_answers_boundary_queries_identically() {
+        let w = uniform_disjoint(7, 13);
+        let bbox = w.obstacles.bbox().unwrap().expand(15);
+        let dense = BigPolygonStructure::build(&w.obstacles, bbox, 500);
+        let implicit = BigPolygonStructure::build_with_store(
+            &w.obstacles,
+            bbox,
+            500,
+            StoreKind::Implicit { budget_bytes: 1 << 12 },
+        );
+        let samples = [bbox.ll(), bbox.ur(), Point::new(bbox.xmin, bbox.ymin + 9)];
+        let targets: Vec<Point> = w.obstacles.vertices().into_iter().step_by(2).collect();
+        for &p in &samples {
+            for &t in &targets {
+                assert_eq!(implicit.boundary_distance(p, t), dense.boundary_distance(p, t), "{p:?} -> {t:?}");
+            }
+        }
+        assert_eq!(implicit.implicit_entries(), dense.implicit_entries());
     }
 
     #[test]

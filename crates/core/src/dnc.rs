@@ -39,7 +39,7 @@ use rsp_geom::bq::boundary_arc_position;
 use rsp_geom::hanan::HananGrid;
 use rsp_geom::rayshoot::ShootIndex;
 use rsp_geom::{Chain, Coord, Dist, ObstacleSet, Point, Rect, StairRegion, INF};
-use rsp_monge::{is_monge, min_plus_parallel, MinPlusMatrix};
+use rsp_monge::{is_monge, min_plus_parallel, MinPlusMatrix, SubmatrixView};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -509,8 +509,11 @@ fn merge(
     let mid_a: Vec<usize> = middle.iter().map(|p| ext_above.index[p]).collect();
     let mid_b: Vec<usize> = middle.iter().map(|p| ext_below.index[p]).collect();
     let b_cols: Vec<usize> = below_parent.iter().map(|p| ext_below.index[p]).collect();
-    let left = ext_above.dist.submatrix(&a_rows, &mid_a);
-    let right = ext_below.dist.submatrix(&mid_b, &b_cols);
+    // Borrowed block views: the Monge check and the (min,+) product read the
+    // factors in place instead of copying `O(|parent| · |Middle|)` entries
+    // out of each child at every recursion node.
+    let left = SubmatrixView::new(&ext_above.dist, &a_rows, &mid_a);
+    let right = SubmatrixView::new(&ext_below.dist, &mid_b, &b_cols);
     let cross = if !above_parent.is_empty() && !below_parent.is_empty() && !middle.is_empty() {
         if opts.use_monge && is_monge(&left) && is_monge(&right) {
             counters.monge.fetch_add(1, Ordering::Relaxed);

@@ -23,6 +23,8 @@
 //!   `O(log n)` arbitrary-point queries via ray shooting).
 //! * [`sptree`] — Section 8: shortest-path trees and actual path reporting.
 //! * [`bigp`] — Section 7: the implicit structure for `|P| = N >> n`.
+//! * [`store`] — pluggable distance storage: the dense `O(n^2)` matrix or
+//!   the byte-budgeted implicit row store ([`StoreKind`], [`DistanceStore`]).
 //! * [`baseline`] — comparators: Hanan-grid ground truth, sparse track-graph
 //!   Dijkstra (the de Rezende–Lee–Wu-style single-source algorithm [11]) and
 //!   the repeated-SSSP all-pairs baseline.
@@ -44,6 +46,7 @@ pub mod router;
 pub mod separator;
 pub mod seq;
 pub mod sptree;
+pub mod store;
 pub mod trace;
 pub mod tree;
 
@@ -55,3 +58,4 @@ pub use query::PathLengthOracle;
 pub use router::{BuildCounts, Engine, Router, RouterBuilder};
 pub use separator::{find_separator, Separator};
 pub use sptree::ShortestPathTrees;
+pub use store::{DistanceStore, StoreKind, StoreStats};

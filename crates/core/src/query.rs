@@ -218,6 +218,15 @@ impl PathLengthOracle {
         Self::from_apsp(obstacles, apsp)
     }
 
+    /// Build with an *implicit* distance store: no `O(n^2)` vertex matrix is
+    /// materialised; distance rows are generated on demand and cached under
+    /// `budget_bytes` (see [`VertexApsp::build_implicit`]).  Queries answer
+    /// bitwise-identically to the dense constructors.
+    pub fn build_implicit_arc(obstacles: Arc<ObstacleSet>, budget_bytes: usize) -> Self {
+        let apsp = VertexApsp::build_implicit(&obstacles, budget_bytes);
+        Self::from_apsp(obstacles, apsp)
+    }
+
     /// Build from an existing vertex matrix and a shared obstacle set.  The
     /// four escape-staircase families are built concurrently over
     /// [`rayon::join`] splits (pairs of quadrants, then vertex-range halves).

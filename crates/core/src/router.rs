@@ -43,6 +43,7 @@ use crate::instance::Instance;
 use crate::query::PathLengthOracle;
 use crate::separator::{find_separator_unbounded, Separator};
 use crate::sptree::ShortestPathTrees;
+use crate::store::{dense_bytes_for, StoreKind, StoreStats};
 use crate::trace::{escape_path, EscapeKind};
 use crate::tree::RecursionTree;
 use rayon::prelude::*;
@@ -80,6 +81,10 @@ pub struct BuildCounts {
     pub tree_builds: usize,
     /// Constructions of the boundary matrix `D_Q` (at most 1 per router).
     pub boundary_builds: usize,
+    /// Bytes the distance store currently holds resident (0 until the
+    /// oracle is built; the full matrix for [`StoreKind::Dense`], the
+    /// cached rows for [`StoreKind::Implicit`]).
+    pub store_resident_bytes: usize,
 }
 
 #[derive(Default)]
@@ -93,6 +98,7 @@ struct BuildCounters {
 pub struct RouterBuilder {
     obstacles: ObstacleSet,
     engine: Engine,
+    store: StoreKind,
     threads: Option<usize>,
     margin: Coord,
     dnc: Option<DncOptions>,
@@ -102,6 +108,16 @@ impl RouterBuilder {
     /// Select the construction engine (default [`Engine::Auto`]).
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Select the distance storage backend (default [`StoreKind::Auto`]:
+    /// dense below [`crate::store::IMPLICIT_AUTO_THRESHOLD`] obstacles,
+    /// implicit with [`crate::store::default_budget_bytes`] above).  Both
+    /// backends answer every query bitwise-identically; the implicit store
+    /// trades the `O(n^2)` matrix for a byte-budgeted row cache.
+    pub fn store(mut self, store: StoreKind) -> Self {
+        self.store = store;
         self
     }
 
@@ -133,6 +149,7 @@ impl RouterBuilder {
     /// two obstacles overlap; no substructure is built yet — each is
     /// constructed lazily on first use.
     pub fn build(self) -> Result<Router, RspError> {
+        let store = self.store.resolve(self.obstacles.len());
         let instance = Instance::with_margin(self.obstacles, self.margin);
         instance.validate()?;
         let pool = match self.threads {
@@ -159,6 +176,7 @@ impl RouterBuilder {
         Ok(Router {
             instance,
             engine,
+            store,
             pool,
             dnc,
             oracle: OnceLock::new(),
@@ -175,6 +193,7 @@ impl RouterBuilder {
 pub struct Router {
     instance: Instance,
     engine: Engine,
+    store: StoreKind,
     pool: Option<rayon::ThreadPool>,
     dnc: DncOptions,
     oracle: OnceLock<Arc<PathLengthOracle>>,
@@ -189,7 +208,7 @@ pub struct Router {
 impl Router {
     /// Start configuring a router for the given obstacles.
     pub fn builder(obstacles: ObstacleSet) -> RouterBuilder {
-        RouterBuilder { obstacles, engine: Engine::Auto, threads: None, margin: 2, dnc: None }
+        RouterBuilder { obstacles, engine: Engine::Auto, store: StoreKind::Auto, threads: None, margin: 2, dnc: None }
     }
 
     /// Shorthand: a router over `obstacles` with all defaults.
@@ -218,14 +237,32 @@ impl Router {
         self.engine
     }
 
-    /// Snapshot of how often each substructure has been constructed so far.
-    /// A router never builds a substructure more than once; tests assert
-    /// this stays at 0/1 per structure no matter how many queries ran.
+    /// The distance store this router resolved to ([`StoreKind::Auto`] is
+    /// resolved by scene size at build time and never stored).
+    pub fn store_kind(&self) -> StoreKind {
+        self.store
+    }
+
+    /// Memory accounting snapshot of the distance store.  Before the oracle
+    /// is built nothing is resident and only the dense baseline (what a
+    /// dense matrix for this scene would cost) is reported.
+    pub fn memory_stats(&self) -> StoreStats {
+        match self.oracle.get() {
+            Some(oracle) => oracle.apsp().store_stats(),
+            None => StoreStats { dense_bytes: dense_bytes_for(self.n()), ..StoreStats::default() },
+        }
+    }
+
+    /// Snapshot of how often each substructure has been constructed so far,
+    /// plus the bytes the distance store holds resident.  A router never
+    /// builds a substructure more than once; tests assert this stays at 0/1
+    /// per structure no matter how many queries ran.
     pub fn build_counts(&self) -> BuildCounts {
         BuildCounts {
             oracle_builds: self.counts.oracle.load(Ordering::Relaxed),
             tree_builds: self.counts.trees.load(Ordering::Relaxed),
             boundary_builds: self.counts.boundary.load(Ordering::Relaxed),
+            store_resident_bytes: self.oracle.get().map_or(0, |o| o.apsp().store_stats().resident_bytes),
         }
     }
 
@@ -251,12 +288,20 @@ impl Router {
             self.counts.oracle.fetch_add(1, Ordering::Relaxed);
             let obstacles = self.instance.obstacles();
             let oracle = self.in_pool(|| {
-                let apsp = match self.engine {
-                    Engine::Sequential => VertexApsp::build_sequential(obstacles),
-                    Engine::HananBaseline => {
+                let apsp = match (self.store, self.engine) {
+                    // Implicit store: rows come lazily from the engine's own
+                    // row generator — no full matrix is ever materialised.
+                    (StoreKind::Implicit { budget_bytes }, Engine::HananBaseline) => {
+                        VertexApsp::build_implicit_hanan(obstacles, budget_bytes)
+                    }
+                    (StoreKind::Implicit { budget_bytes }, _) => VertexApsp::build_implicit(obstacles, budget_bytes),
+                    // Dense store: the eager builders (Auto was resolved to a
+                    // concrete store kind at build time).
+                    (_, Engine::Sequential) => VertexApsp::build_sequential(obstacles),
+                    (_, Engine::HananBaseline) => {
                         VertexApsp::from_matrix(obstacles.vertices(), dijkstra_sssp_matrix(obstacles))
                     }
-                    Engine::Auto | Engine::DivideAndConquer => VertexApsp::build(obstacles),
+                    (_, Engine::Auto | Engine::DivideAndConquer) => VertexApsp::build(obstacles),
                 };
                 PathLengthOracle::from_apsp(self.instance.obstacles_arc(), apsp)
             });
@@ -597,6 +642,60 @@ mod tests {
                 assert_eq!(d, hanan.vertex_distance(a, b).unwrap());
             }
         }
+    }
+
+    #[test]
+    fn store_backends_answer_identically() {
+        let w = uniform_disjoint(9, 42);
+        let dense = Router::builder(w.obstacles.clone()).store(StoreKind::Dense).build().unwrap();
+        // Small scene + Auto resolves to Dense.
+        assert_eq!(dense.store_kind(), StoreKind::Dense);
+        assert_eq!(Router::new(w.obstacles.clone()).unwrap().store_kind(), StoreKind::Dense);
+        // A two-row budget forces eviction churn on every scan.
+        let row_bytes = 4 * w.n() * std::mem::size_of::<Dist>();
+        let implicit = Router::builder(w.obstacles.clone())
+            .store(StoreKind::Implicit { budget_bytes: 2 * row_bytes })
+            .build()
+            .unwrap();
+        let mut pairs = query_pairs(&w.obstacles, 20, true, 5);
+        pairs.extend(query_pairs(&w.obstacles, 20, false, 6));
+        assert_eq!(dense.distances(&pairs).unwrap(), implicit.distances(&pairs).unwrap());
+        let verts = w.obstacles.vertices();
+        let vpairs: Vec<(Point, Point)> =
+            verts.iter().step_by(4).flat_map(|&s| verts.iter().step_by(7).map(move |&t| (s, t))).collect();
+        let dense_paths = dense.paths(&vpairs).unwrap();
+        let implicit_paths = implicit.paths(&vpairs).unwrap();
+        for (k, &(s, t)) in vpairs.iter().enumerate() {
+            assert_eq!(dense_paths[k].length(), implicit_paths[k].length(), "{s:?} -> {t:?}");
+            assert!(implicit_paths[k].certifies(&w.obstacles, s, t, dense_paths[k].length()));
+        }
+    }
+
+    #[test]
+    fn memory_stats_track_store_residency() {
+        let w = uniform_disjoint(8, 31);
+        let budget = 3 * 4 * w.n() * std::mem::size_of::<Dist>();
+        let router =
+            Router::builder(w.obstacles.clone()).store(StoreKind::Implicit { budget_bytes: budget }).build().unwrap();
+        // Before the oracle exists: nothing resident, dense baseline known.
+        let before = router.memory_stats();
+        assert_eq!(before.resident_bytes, 0);
+        assert_eq!(before.dense_bytes, dense_bytes_for(w.n()));
+        assert_eq!(router.build_counts().store_resident_bytes, 0);
+        let verts = w.obstacles.vertices();
+        for &v in verts.iter().step_by(3) {
+            let _ = router.vertex_distance(verts[0], v).unwrap();
+        }
+        let after = router.memory_stats();
+        assert!(after.resident_bytes > 0);
+        assert!(after.resident_bytes <= budget);
+        assert!(after.row_misses >= 1);
+        assert_eq!(router.build_counts().store_resident_bytes, after.resident_bytes);
+        // The dense router reports the full matrix resident.
+        let dense = Router::builder(w.obstacles.clone()).store(StoreKind::Dense).build().unwrap();
+        let _ = dense.vertex_distance(verts[0], verts[4]).unwrap();
+        let stats = dense.memory_stats();
+        assert_eq!(stats.resident_bytes, stats.dense_bytes);
     }
 
     #[test]

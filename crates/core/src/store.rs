@@ -1,0 +1,344 @@
+//! The distance storage layer behind [`VertexApsp`](crate::apsp::VertexApsp):
+//! a pluggable [`DistanceStore`] with a dense and an implicit backend.
+//!
+//! The dense backend is the classic trade of the paper — pay `O(n^2)` memory
+//! once, answer every vertex-pair query with one array read.  At `n = 2048`
+//! obstacles that matrix is `(4n)^2` entries ≈ 512 MiB, which walls off
+//! exactly the scenes where the `O(n^2)`-work construction would shine.
+//!
+//! The implicit backend never materialises the matrix.  It keeps the row
+//! *generator* instead — the Section 9 single-source engine (or the
+//! Hanan-grid Dijkstra for the baseline comparator) — and materialises
+//! distance rows on demand into a byte-budgeted LRU
+//! [`BlockCache`](rsp_monge::BlockCache).  A row is the natural block
+//! granularity here: every generator is a whole-source sweep, so a single
+//! entry costs exactly as much as its row, and caching the row makes the
+//! follow-up queries of a scan free.
+//!
+//! **Bitwise equality is by construction**: both backends obtain row `i` by
+//! calling the *same* per-source routine on the *same* source vertex, so an
+//! implicit store returns bit-for-bit the numbers the dense matrix holds —
+//! independent of materialisation order, eviction history or thread count.
+//! (The lazy SMAWK product machinery of
+//! [`ImplicitMongeMatrix`](rsp_monge::ImplicitMongeMatrix) plays the
+//! analogous role one level down, for boundary-matrix blocks; Lemma 1's
+//! Monge guarantee holds for boundary portions of convex clear regions, not
+//! for the scattered vertex set `V_R`, which is why the vertex store caches
+//! generator rows rather than SMAWK minima.)
+
+use crate::seq::SingleSourceEngine;
+use rsp_geom::hanan::HananGrid;
+use rsp_geom::{Dist, ObstacleSet, Point};
+use rsp_monge::{BlockCache, MinPlusMatrix};
+use std::sync::{Arc, Mutex};
+
+const ENTRY_BYTES: usize = std::mem::size_of::<Dist>();
+
+/// Obstacle count at which [`StoreKind::Auto`] switches from the dense
+/// matrix to the implicit store (the dense matrix crosses 32 MiB here).
+pub const IMPLICIT_AUTO_THRESHOLD: usize = 512;
+
+/// Bytes the dense `V_R`-to-`V_R` matrix costs for `n` obstacles
+/// (`(4n)^2` entries), computed without building anything.
+pub fn dense_bytes_for(n_obstacles: usize) -> usize {
+    let dim = 4 * n_obstacles;
+    dim * dim * ENTRY_BYTES
+}
+
+/// The default implicit row budget for `n` obstacles: 1/16 of the dense
+/// matrix (room for `dim/16` resident rows), floored at 1 MiB so small
+/// scenes never thrash.
+pub fn default_budget_bytes(n_obstacles: usize) -> usize {
+    (dense_bytes_for(n_obstacles) / 16).max(1 << 20)
+}
+
+/// Which distance storage backend a router/oracle uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StoreKind {
+    /// Pick by scene size: [`StoreKind::Dense`] below
+    /// [`IMPLICIT_AUTO_THRESHOLD`] obstacles, otherwise
+    /// [`StoreKind::Implicit`] with [`default_budget_bytes`].
+    #[default]
+    Auto,
+    /// The full `(4n) x (4n)` matrix: `O(n^2)` bytes, lock-free and
+    /// allocation-free `O(1)` reads.
+    Dense,
+    /// Rows materialised on demand into a byte-budgeted LRU cache:
+    /// `O(budget)` bytes, `O(1)` reads for resident rows, one single-source
+    /// sweep per miss.
+    Implicit {
+        /// Bytes the resident rows may occupy (a budget below one row keeps
+        /// exactly one row and recomputes on every miss — slow but correct).
+        budget_bytes: usize,
+    },
+}
+
+impl StoreKind {
+    /// Resolve [`StoreKind::Auto`] for a scene of `n_obstacles`; the other
+    /// variants pass through unchanged.
+    pub fn resolve(self, n_obstacles: usize) -> StoreKind {
+        match self {
+            StoreKind::Auto => {
+                if n_obstacles >= IMPLICIT_AUTO_THRESHOLD {
+                    StoreKind::Implicit { budget_bytes: default_budget_bytes(n_obstacles) }
+                } else {
+                    StoreKind::Dense
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// Memory accounting snapshot of a [`DistanceStore`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Bytes the store currently holds resident (the whole matrix for the
+    /// dense backend, the cached rows for the implicit one).
+    pub resident_bytes: usize,
+    /// Bytes a dense matrix of the same dimensions costs (the baseline the
+    /// implicit backend is saving against).
+    pub dense_bytes: usize,
+    /// The configured byte budget (equals `dense_bytes` for the dense
+    /// backend, which has no eviction).
+    pub budget_bytes: usize,
+    /// Row requests served from a resident row (implicit backend only).
+    pub row_hits: u64,
+    /// Row requests that ran a single-source sweep (implicit backend only).
+    pub row_misses: u64,
+    /// Rows evicted to respect the budget (implicit backend only).
+    pub row_evictions: u64,
+}
+
+/// How the implicit store generates a distance row for source `i`.
+enum RowProvider {
+    /// The Section 9 single-source engine — the same routine the dense
+    /// builders fan out over, so rows are bitwise-identical to theirs.
+    Sweep(SingleSourceEngine),
+    /// Hanan-grid Dijkstra per source — the same routine
+    /// [`dijkstra_sssp_matrix`](crate::baseline::dijkstra_sssp_matrix) fans
+    /// out over, for the baseline-comparator engine.
+    Hanan { grid: HananGrid, vertices: Vec<Point> },
+}
+
+impl RowProvider {
+    fn row(&self, i: usize) -> Vec<Dist> {
+        match self {
+            RowProvider::Sweep(engine) => engine.distances_from(engine.vertices()[i]),
+            RowProvider::Hanan { grid, vertices } => grid.distances_to(vertices[i], vertices),
+        }
+    }
+}
+
+/// The implicit backend: a row generator plus a byte-budgeted LRU of
+/// materialised rows.
+pub struct ImplicitStore {
+    provider: RowProvider,
+    dim: usize,
+    cache: Mutex<BlockCache>,
+}
+
+impl ImplicitStore {
+    fn new(provider: RowProvider, dim: usize, budget_bytes: usize) -> Self {
+        ImplicitStore { provider, dim, cache: Mutex::new(BlockCache::new(budget_bytes)) }
+    }
+
+    /// Row `i` (all distances from source vertex `i`), materialised on first
+    /// use and resident while the byte budget allows.
+    pub fn row(&self, i: usize) -> Arc<[Dist]> {
+        debug_assert!(i < self.dim, "row out of range");
+        let mut cache = self.cache.lock().expect("distance row cache poisoned");
+        cache.get_or_insert_with(i as u64, || self.provider.row(i))
+    }
+
+    /// Entry `(i, j)`.
+    pub fn distance(&self, i: usize, j: usize) -> Dist {
+        self.row(i)[j]
+    }
+
+    /// Matrix dimension (`4n`).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Memory accounting snapshot.
+    pub fn stats(&self) -> StoreStats {
+        let cache = self.cache.lock().expect("distance row cache poisoned").stats();
+        StoreStats {
+            resident_bytes: cache.resident_bytes,
+            dense_bytes: self.dim * self.dim * ENTRY_BYTES,
+            budget_bytes: cache.budget_bytes,
+            row_hits: cache.hits,
+            row_misses: cache.misses,
+            row_evictions: cache.evictions,
+        }
+    }
+}
+
+/// Pluggable distance storage for the `V_R`-to-`V_R` length structure.
+///
+/// The dense arm keeps the lock-free, allocation-free `O(1)` read the
+/// vertex-pair fast path is benchmarked on (E10); the implicit arm trades
+/// a mutex-guarded row cache for an `O(budget)` footprint.  Both arms
+/// return bitwise-identical distances (see the module docs).
+pub enum DistanceStore {
+    /// The full matrix.
+    Dense(MinPlusMatrix),
+    /// Budgeted on-demand rows (boxed: the provider is large, and keeping
+    /// the enum small keeps the dense arm's reads cheap).
+    Implicit(Box<ImplicitStore>),
+}
+
+impl DistanceStore {
+    /// Wrap an already materialised matrix.
+    pub fn dense(matrix: MinPlusMatrix) -> Self {
+        DistanceStore::Dense(matrix)
+    }
+
+    /// An implicit store over the Section 9 single-source engine — the
+    /// backend behind every non-baseline engine.
+    pub fn implicit_sweep(obstacles: &ObstacleSet, budget_bytes: usize) -> Self {
+        let engine = SingleSourceEngine::new(obstacles);
+        let dim = engine.vertices().len();
+        DistanceStore::Implicit(Box::new(ImplicitStore::new(RowProvider::Sweep(engine), dim, budget_bytes)))
+    }
+
+    /// An implicit store over the Hanan-grid Dijkstra — the backend behind
+    /// the baseline-comparator engine.
+    pub fn implicit_hanan(obstacles: &ObstacleSet, budget_bytes: usize) -> Self {
+        let vertices = obstacles.vertices();
+        let grid = HananGrid::build(obstacles, &vertices);
+        let dim = vertices.len();
+        DistanceStore::Implicit(Box::new(ImplicitStore::new(RowProvider::Hanan { grid, vertices }, dim, budget_bytes)))
+    }
+
+    /// Entry `(i, j)`: one array read for the dense arm, a cache probe (and
+    /// possibly a single-source sweep) for the implicit arm.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> Dist {
+        match self {
+            DistanceStore::Dense(m) => m.get(i, j),
+            DistanceStore::Implicit(s) => s.distance(i, j),
+        }
+    }
+
+    /// Matrix dimension (`4n`).
+    pub fn dim(&self) -> usize {
+        match self {
+            DistanceStore::Dense(m) => m.rows(),
+            DistanceStore::Implicit(s) => s.dim(),
+        }
+    }
+
+    /// The dense matrix, when this store has one (expert consumers — E8's
+    /// matrix comparison, the recursion inspector — need the raw matrix and
+    /// accept that an implicit store cannot provide it).
+    pub fn as_dense(&self) -> Option<&MinPlusMatrix> {
+        match self {
+            DistanceStore::Dense(m) => Some(m),
+            DistanceStore::Implicit(_) => None,
+        }
+    }
+
+    /// Which backend this is, with the implicit arm's configured budget.
+    pub fn kind(&self) -> StoreKind {
+        match self {
+            DistanceStore::Dense(_) => StoreKind::Dense,
+            DistanceStore::Implicit(s) => StoreKind::Implicit { budget_bytes: s.stats().budget_bytes },
+        }
+    }
+
+    /// Memory accounting snapshot.
+    pub fn stats(&self) -> StoreStats {
+        match self {
+            DistanceStore::Dense(m) => {
+                let bytes = m.rows() * m.cols() * ENTRY_BYTES;
+                StoreStats { resident_bytes: bytes, dense_bytes: bytes, budget_bytes: bytes, ..StoreStats::default() }
+            }
+            DistanceStore::Implicit(s) => s.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_workload::uniform_disjoint;
+
+    #[test]
+    fn auto_resolution_picks_by_scene_size() {
+        assert_eq!(StoreKind::Auto.resolve(8), StoreKind::Dense);
+        assert_eq!(
+            StoreKind::Auto.resolve(IMPLICIT_AUTO_THRESHOLD),
+            StoreKind::Implicit { budget_bytes: default_budget_bytes(IMPLICIT_AUTO_THRESHOLD) }
+        );
+        assert_eq!(StoreKind::Dense.resolve(10_000), StoreKind::Dense);
+        let pinned = StoreKind::Implicit { budget_bytes: 123 };
+        assert_eq!(pinned.resolve(1), pinned);
+    }
+
+    #[test]
+    fn budget_arithmetic() {
+        // n = 2048: dense is (8192)^2 * 8 = 512 MiB; the default budget is
+        // 1/16 of that = 32 MiB, comfortably under the 10% acceptance bar.
+        assert_eq!(dense_bytes_for(2048), 512 << 20);
+        assert_eq!(default_budget_bytes(2048), 32 << 20);
+        assert!(default_budget_bytes(2048) * 10 <= dense_bytes_for(2048));
+        // tiny scenes get the 1 MiB floor
+        assert_eq!(default_budget_bytes(4), 1 << 20);
+    }
+
+    #[test]
+    fn implicit_sweep_matches_dense_bitwise() {
+        let w = uniform_disjoint(9, 17);
+        let engine = SingleSourceEngine::new(&w.obstacles);
+        let rows: Vec<Vec<Dist>> = engine.vertices().to_vec().iter().map(|&v| engine.distances_from(v)).collect();
+        let dense = DistanceStore::dense(MinPlusMatrix::from_rows(rows));
+        // A budget of three rows forces heavy churn; answers must not move.
+        let row_bytes = dense.dim() * ENTRY_BYTES;
+        let implicit = DistanceStore::implicit_sweep(&w.obstacles, 3 * row_bytes);
+        assert_eq!(implicit.dim(), dense.dim());
+        for i in 0..dense.dim() {
+            for j in 0..dense.dim() {
+                assert_eq!(implicit.at(i, j), dense.at(i, j), "({i},{j})");
+            }
+        }
+        let stats = implicit.stats();
+        assert!(stats.resident_bytes <= 3 * row_bytes);
+        assert!(stats.row_evictions > 0, "a 3-row budget over {} rows must evict", dense.dim());
+        assert_eq!(stats.dense_bytes, dense.stats().dense_bytes);
+        // Dense accounting: resident == dense == budget, no cache traffic.
+        let d = dense.stats();
+        assert_eq!(d.resident_bytes, d.dense_bytes);
+        assert_eq!((d.row_hits, d.row_misses, d.row_evictions), (0, 0, 0));
+    }
+
+    #[test]
+    fn implicit_hanan_matches_the_dijkstra_baseline() {
+        let w = uniform_disjoint(6, 5);
+        let baseline = crate::baseline::dijkstra_sssp_matrix(&w.obstacles);
+        let implicit = DistanceStore::implicit_hanan(&w.obstacles, usize::MAX);
+        assert_eq!(implicit.kind(), StoreKind::Implicit { budget_bytes: usize::MAX });
+        for i in 0..baseline.rows() {
+            for j in 0..baseline.cols() {
+                assert_eq!(implicit.at(i, j), baseline.get(i, j), "({i},{j})");
+            }
+        }
+        assert!(implicit.as_dense().is_none());
+    }
+
+    #[test]
+    fn row_cache_counts_hits_after_first_touch() {
+        let w = uniform_disjoint(4, 2);
+        let store = DistanceStore::implicit_sweep(&w.obstacles, usize::MAX);
+        let dim = store.dim();
+        for j in 0..dim {
+            let _ = store.at(0, j);
+        }
+        let stats = store.stats();
+        assert_eq!(stats.row_misses, 1, "one sweep serves the whole row scan");
+        assert_eq!(stats.row_hits as usize, dim - 1);
+        assert_eq!(stats.row_evictions, 0);
+        assert_eq!(stats.resident_bytes, dim * ENTRY_BYTES);
+    }
+}

@@ -1,0 +1,282 @@
+//! Implicit (min,+) matrices: lazy SMAWK entry evaluation behind a
+//! byte-budgeted block cache.
+//!
+//! A dense `α x β` product costs `O(αβ)` memory whether or not anyone ever
+//! reads most of it.  [`ImplicitMongeMatrix`] stores only its two factors
+//! and materialises *blocks* (rows) on demand — one SMAWK pass per row when
+//! the right factor is Monge ([`min_plus_product_row`]) — keeping the
+//! resident footprint bounded by a caller-chosen byte budget.  Hot query
+//! regions stay materialised; cold rows are recomputed if they come back.
+//!
+//! The cache itself, [`BlockCache`], is deliberately generic (blocks are
+//! `Arc<[Entry]>` keyed by `u64`): `rsp-core`'s distance store reuses it to
+//! cache single-source distance rows, so eviction policy and byte accounting
+//! live in exactly one place.
+
+use crate::matrix::Entry;
+use crate::multiply::{min_plus_product_row, min_plus_product_row_general};
+use crate::view::MatrixAccess;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Counter snapshot of a [`BlockCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockCacheStats {
+    /// Block requests served from a resident block.
+    pub hits: u64,
+    /// Block requests that had to build the block.
+    pub misses: u64,
+    /// Blocks dropped to respect the byte budget.
+    pub evictions: u64,
+    /// Bytes currently held by resident blocks.
+    pub resident_bytes: usize,
+    /// The configured byte budget.
+    pub budget_bytes: usize,
+}
+
+struct Block {
+    data: Arc<[Entry]>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// A byte-budgeted LRU cache of `Arc<[Entry]>` blocks keyed by `u64`.
+///
+/// Inserting past the budget evicts least-recently-used blocks until the
+/// resident total fits again — except the block just inserted, which always
+/// survives its own insertion so a request can never return an evicted
+/// block.  A budget smaller than one block therefore degenerates to
+/// "recompute every time, keep exactly one block", which is still correct.
+pub struct BlockCache {
+    budget_bytes: usize,
+    blocks: HashMap<u64, Block>,
+    tick: u64,
+    resident_bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl BlockCache {
+    /// An empty cache with the given byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        BlockCache {
+            budget_bytes,
+            blocks: HashMap::new(),
+            tick: 0,
+            resident_bytes: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Resolve the block for `key`, building (and caching) it on a miss.
+    pub fn get_or_insert_with(&mut self, key: u64, build: impl FnOnce() -> Vec<Entry>) -> Arc<[Entry]> {
+        self.tick += 1;
+        if let Some(block) = self.blocks.get_mut(&key) {
+            block.last_used = self.tick;
+            self.hits += 1;
+            return Arc::clone(&block.data);
+        }
+        self.misses += 1;
+        let data: Arc<[Entry]> = build().into();
+        let bytes = std::mem::size_of_val(&data[..]);
+        self.resident_bytes += bytes;
+        self.blocks.insert(key, Block { data: Arc::clone(&data), bytes, last_used: self.tick });
+        while self.resident_bytes > self.budget_bytes && self.blocks.len() > 1 {
+            let victim = self
+                .blocks
+                .iter()
+                .filter(|&(&k, _)| k != key)
+                .min_by_key(|(_, b)| b.last_used)
+                .map(|(&k, _)| k)
+                .expect("len > 1 guarantees a victim besides the protected key");
+            let gone = self.blocks.remove(&victim).expect("victim key was just observed");
+            self.resident_bytes -= gone.bytes;
+            self.evictions += 1;
+        }
+        data
+    }
+
+    /// Bytes currently held by resident blocks.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether no block is resident.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BlockCacheStats {
+        BlockCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            resident_bytes: self.resident_bytes,
+            budget_bytes: self.budget_bytes,
+        }
+    }
+}
+
+/// A lazily evaluated (min,+) product `A * B` that never materialises
+/// itself: rows are computed on demand by one SMAWK pass each (when `B` is
+/// Monge) and cached in a byte-budgeted [`BlockCache`].  Entries are
+/// bitwise-identical to the eager [`min_plus_parallel`]
+/// (see [`min_plus_product_row`] for why).
+///
+/// [`min_plus_parallel`]: crate::multiply::min_plus_parallel
+pub struct ImplicitMongeMatrix<A, B> {
+    a: A,
+    b: B,
+    monge: bool,
+    cache: Mutex<BlockCache>,
+}
+
+impl<A: MatrixAccess, B: MatrixAccess> ImplicitMongeMatrix<A, B> {
+    /// The lazy product of two factors the caller certifies as Monge (the
+    /// situation Lemma 3 creates: both factors are boundary path-length
+    /// matrices across a separator).
+    pub fn product(a: A, b: B, budget_bytes: usize) -> Self {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        ImplicitMongeMatrix { a, b, monge: true, cache: Mutex::new(BlockCache::new(budget_bytes)) }
+    }
+
+    /// The lazy product of factors with no Monge guarantee: rows cost a full
+    /// `O(cols(B) · cols(A))` scan instead of a SMAWK pass.
+    pub fn product_general(a: A, b: B, budget_bytes: usize) -> Self {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        ImplicitMongeMatrix { a, b, monge: false, cache: Mutex::new(BlockCache::new(budget_bytes)) }
+    }
+
+    /// Number of rows of the (never materialised) product.
+    pub fn rows(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Number of columns of the product.
+    pub fn cols(&self) -> usize {
+        self.b.cols()
+    }
+
+    /// Row `i` of the product, materialised on first use and cached while
+    /// the byte budget allows.
+    pub fn row(&self, i: usize) -> Arc<[Entry]> {
+        assert!(i < self.rows(), "row out of range");
+        let mut cache = self.cache.lock().expect("implicit product cache poisoned");
+        cache.get_or_insert_with(i as u64, || {
+            if self.monge {
+                min_plus_product_row(&self.a, &self.b, i)
+            } else {
+                min_plus_product_row_general(&self.a, &self.b, i)
+            }
+        })
+    }
+
+    /// Entry `(i, j)` of the product.
+    pub fn at(&self, i: usize, j: usize) -> Entry {
+        assert!(j < self.cols(), "column out of range");
+        self.row(i)[j]
+    }
+
+    /// Cache counter snapshot (resident bytes, hit/miss/eviction counts).
+    pub fn cache_stats(&self) -> BlockCacheStats {
+        self.cache.lock().expect("implicit product cache poisoned").stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::MinPlusMatrix;
+    use crate::monge::distance_monge;
+    use crate::multiply::{min_plus_naive, min_plus_parallel};
+
+    fn random_monge(rows: usize, cols: usize, seed: u64) -> MinPlusMatrix {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs: Vec<i64> = (0..rows).map(|_| rng.gen_range(-200..200)).collect();
+        let mut ys: Vec<i64> = (0..cols).map(|_| rng.gen_range(-200..200)).collect();
+        xs.sort();
+        ys.sort();
+        distance_monge(&xs, &ys, rng.gen_range(0..30))
+    }
+
+    #[test]
+    fn implicit_product_is_bitwise_equal_to_eager() {
+        for seed in 0..6 {
+            let a = random_monge(10, 7, seed);
+            let b = random_monge(7, 12, seed + 31);
+            let eager = min_plus_parallel(&a, &b);
+            let lazy = ImplicitMongeMatrix::product(&a, &b, usize::MAX);
+            assert_eq!((lazy.rows(), lazy.cols()), (eager.rows(), eager.cols()));
+            for i in 0..eager.rows() {
+                for j in 0..eager.cols() {
+                    assert_eq!(lazy.at(i, j), eager.get(i, j), "seed {seed} ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn general_mode_handles_non_monge_factors() {
+        // The (min,+) identity is not Monge; the general row scan still
+        // multiplies it correctly.
+        let a = random_monge(5, 4, 3);
+        let id = MinPlusMatrix::from_fn(4, 4, |i, j| if i == j { 0 } else { crate::matrix::INF });
+        let lazy = ImplicitMongeMatrix::product_general(&a, &id, usize::MAX);
+        let truth = min_plus_naive(&a, &id);
+        for i in 0..a.rows() {
+            for j in 0..id.cols() {
+                assert_eq!(lazy.at(i, j), truth.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn budget_bounds_residency_and_counts_evictions() {
+        let a = random_monge(16, 8, 7);
+        let b = random_monge(8, 64, 8);
+        let row_bytes = 64 * std::mem::size_of::<Entry>();
+        // Room for three rows.
+        let lazy = ImplicitMongeMatrix::product(&a, &b, 3 * row_bytes);
+        for i in 0..16 {
+            let _ = lazy.row(i);
+        }
+        let stats = lazy.cache_stats();
+        assert_eq!(stats.misses, 16);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.evictions, 13, "16 rows through a 3-row budget");
+        assert!(stats.resident_bytes <= 3 * row_bytes);
+        // Re-reading a resident row is a hit; values survive eviction.
+        let _ = lazy.row(15);
+        assert_eq!(lazy.cache_stats().hits, 1);
+        let eager = min_plus_parallel(&a, &b);
+        for i in 0..16 {
+            assert_eq!(&lazy.row(i)[..], eager.row(i), "row {i} after churn");
+        }
+    }
+
+    #[test]
+    fn sub_row_budget_keeps_exactly_one_block() {
+        let a = random_monge(6, 5, 11);
+        let b = random_monge(5, 40, 12);
+        let lazy = ImplicitMongeMatrix::product(&a, &b, 1);
+        for i in 0..6 {
+            let _ = lazy.row(i);
+        }
+        let stats = lazy.cache_stats();
+        assert_eq!(stats.evictions, 5);
+        assert_eq!(lazy.cache_stats().misses, 6);
+        // The most recent block is pinned through its own insertion.
+        let eager = min_plus_parallel(&a, &b);
+        assert_eq!(&lazy.row(5)[..], eager.row(5));
+    }
+}

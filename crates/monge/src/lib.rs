@@ -25,13 +25,22 @@
 //! * [`monge`] — the Monge predicate and counter-example search;
 //! * [`smawk`] — SMAWK row-minima of totally monotone matrices;
 //! * [`multiply`] — naive, Monge (row-minima based) and rayon-parallel
-//!   (min,+) products, plus the padded product of Lemma 4.
+//!   (min,+) products, plus the padded product of Lemma 4 and per-row lazy
+//!   product evaluation;
+//! * [`view`] — borrowing submatrix/padding views and the [`MatrixAccess`]
+//!   trait the predicates and products are generic over;
+//! * [`implicit`] — [`ImplicitMongeMatrix`], a lazy SMAWK-backed (min,+)
+//!   product behind a byte-budgeted LRU [`BlockCache`](implicit::BlockCache).
 
+pub mod implicit;
 pub mod matrix;
 pub mod monge;
 pub mod multiply;
 pub mod smawk;
+pub mod view;
 
+pub use implicit::{BlockCache, BlockCacheStats, ImplicitMongeMatrix};
 pub use matrix::MinPlusMatrix;
 pub use monge::{is_monge, monge_violation};
 pub use multiply::{min_plus_monge, min_plus_naive, min_plus_parallel};
+pub use view::{MatrixAccess, PaddedView, SubmatrixView};

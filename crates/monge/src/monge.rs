@@ -14,24 +14,26 @@
 //! what the paper's `U / U' / W / W'` partitioning scheme repairs.
 
 use crate::matrix::{Entry, MinPlusMatrix, INF};
+use crate::view::MatrixAccess;
 
 /// Check the Monge condition on all adjacent 2x2 minors.  Entries equal to
 /// `INF` are treated as genuinely infinite (the condition is considered
 /// satisfied whenever it involves an `INF` on the "cheap" side), matching the
-/// padding argument of Lemma 4.
-pub fn is_monge(m: &MinPlusMatrix) -> bool {
+/// padding argument of Lemma 4.  Generic over [`MatrixAccess`], so borrowed
+/// submatrix views are checked without materialising the block.
+pub fn is_monge<M: MatrixAccess>(m: &M) -> bool {
     monge_violation(m).is_none()
 }
 
 /// Find a violating `(i, j)` pair, if any (the condition fails for rows
 /// `i, i+1` and columns `j, j+1`).
-pub fn monge_violation(m: &MinPlusMatrix) -> Option<(usize, usize)> {
+pub fn monge_violation<M: MatrixAccess>(m: &M) -> Option<(usize, usize)> {
     for i in 0..m.rows().saturating_sub(1) {
         for j in 0..m.cols().saturating_sub(1) {
-            let a = m.get(i, j);
-            let b = m.get(i + 1, j + 1);
-            let c = m.get(i, j + 1);
-            let d = m.get(i + 1, j);
+            let a = m.at(i, j);
+            let b = m.at(i + 1, j + 1);
+            let c = m.at(i, j + 1);
+            let d = m.at(i + 1, j);
             let lhs = saturating(a, b);
             let rhs = saturating(c, d);
             if lhs > rhs {
@@ -54,12 +56,12 @@ fn saturating(a: Entry, b: Entry) -> Entry {
 /// for every pair of rows `i < i'` and columns `j < j'`,
 /// `M(i, j') < M(i, j)` implies `M(i', j') < M(i', j)`.
 /// Every Monge matrix is totally monotone.
-pub fn is_totally_monotone(m: &MinPlusMatrix) -> bool {
+pub fn is_totally_monotone<M: MatrixAccess>(m: &M) -> bool {
     for i in 0..m.rows() {
         for i2 in (i + 1)..m.rows() {
             for j in 0..m.cols() {
                 for j2 in (j + 1)..m.cols() {
-                    if m.get(i, j2) < m.get(i, j) && m.get(i2, j2) >= m.get(i2, j) {
+                    if m.at(i, j2) < m.at(i, j) && m.at(i2, j2) >= m.at(i2, j) {
                         return false;
                     }
                 }

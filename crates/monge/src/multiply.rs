@@ -14,9 +14,10 @@
 
 use crate::matrix::{Entry, MinPlusMatrix, INF};
 use crate::smawk::{brute_force_row_minima, smawk_row_minima};
+use crate::view::MatrixAccess;
 use rayon::prelude::*;
 
-fn sat_add(a: Entry, b: Entry) -> Entry {
+pub(crate) fn sat_add(a: Entry, b: Entry) -> Entry {
     if a >= INF || b >= INF {
         INF
     } else {
@@ -50,14 +51,16 @@ pub fn min_plus_naive(a: &MinPlusMatrix, b: &MinPlusMatrix) -> MinPlusMatrix {
 /// totally monotone, so its row minima — which are exactly column `j` of the
 /// product — are found by SMAWK with `O(α + γ)` evaluations.  Total work
 /// `O(β (α + γ))`, i.e. `O(αβ)` under the size hypotheses of Lemma 3.
-pub fn min_plus_monge(a: &MinPlusMatrix, b: &MinPlusMatrix) -> MinPlusMatrix {
+/// Generic over [`MatrixAccess`], so borrowed submatrix views multiply
+/// without being copied out first.
+pub fn min_plus_monge<A: MatrixAccess, B: MatrixAccess>(a: &A, b: &B) -> MinPlusMatrix {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     let mut c = MinPlusMatrix::infinity(a.rows(), b.cols());
     if a.rows() == 0 || b.cols() == 0 || a.cols() == 0 {
         return c;
     }
     for j in 0..b.cols() {
-        let eval = |i: usize, k: usize| sat_add(a.get(i, k), b.get(k, j));
+        let eval = |i: usize, k: usize| sat_add(a.at(i, k), b.at(k, j));
         let minima = smawk_row_minima(a.rows(), a.cols(), &eval);
         for (i, &k) in minima.iter().enumerate() {
             c.set(i, j, eval(i, k));
@@ -68,7 +71,11 @@ pub fn min_plus_monge(a: &MinPlusMatrix, b: &MinPlusMatrix) -> MinPlusMatrix {
 
 /// Parallel Monge product: the per-column SMAWK calls of [`min_plus_monge`]
 /// are independent, so they are distributed over the rayon pool.
-pub fn min_plus_parallel(a: &MinPlusMatrix, b: &MinPlusMatrix) -> MinPlusMatrix {
+pub fn min_plus_parallel<A, B>(a: &A, b: &B) -> MinPlusMatrix
+where
+    A: MatrixAccess + Sync,
+    B: MatrixAccess + Sync,
+{
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     if a.rows() == 0 || b.cols() == 0 {
         return MinPlusMatrix::infinity(a.rows(), b.cols());
@@ -79,7 +86,7 @@ pub fn min_plus_parallel(a: &MinPlusMatrix, b: &MinPlusMatrix) -> MinPlusMatrix 
     let cols: Vec<Vec<Entry>> = (0..b.cols())
         .into_par_iter()
         .map(|j| {
-            let eval = |i: usize, k: usize| sat_add(a.get(i, k), b.get(k, j));
+            let eval = |i: usize, k: usize| sat_add(a.at(i, k), b.at(k, j));
             let minima = smawk_row_minima(a.rows(), a.cols(), &eval);
             (0..a.rows()).map(|i| eval(i, minima[i])).collect()
         })
@@ -93,7 +100,11 @@ pub fn min_plus_parallel(a: &MinPlusMatrix, b: &MinPlusMatrix) -> MinPlusMatrix 
 /// parallelism.  The divide-and-conquer uses this as a fallback when a
 /// factor fails the Monge check (which the paper avoids by its partitioning
 /// scheme; we keep the fallback so correctness never depends on it).
-pub fn min_plus_general_parallel(a: &MinPlusMatrix, b: &MinPlusMatrix) -> MinPlusMatrix {
+pub fn min_plus_general_parallel<A, B>(a: &A, b: &B) -> MinPlusMatrix
+where
+    A: MatrixAccess + Sync,
+    B: MatrixAccess + Sync,
+{
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     if a.rows() == 0 || b.cols() == 0 || a.cols() == 0 {
         return MinPlusMatrix::infinity(a.rows(), b.cols());
@@ -101,12 +112,47 @@ pub fn min_plus_general_parallel(a: &MinPlusMatrix, b: &MinPlusMatrix) -> MinPlu
     let cols: Vec<Vec<Entry>> = (0..b.cols())
         .into_par_iter()
         .map(|j| {
-            let eval = |i: usize, k: usize| sat_add(a.get(i, k), b.get(k, j));
+            let eval = |i: usize, k: usize| sat_add(a.at(i, k), b.at(k, j));
             let minima = brute_force_row_minima(a.rows(), a.cols(), &eval);
             (0..a.rows()).map(|i| eval(i, minima[i])).collect()
         })
         .collect();
     MinPlusMatrix::from_fn(a.rows(), b.cols(), |i, j| cols[j][i])
+}
+
+/// One row of the (min,+) product `A * B`, computed lazily with a single
+/// SMAWK pass: for fixed output row `i`, the matrix
+/// `E(j, k) = A(i, k) + B(k, j)` over rows `j` (the output columns) and
+/// columns `k` (the inner index) satisfies the quadrangle inequality exactly
+/// when `B` does — the `A(i, ·)` terms appear on both sides and cancel — so
+/// when `B` is Monge the row minima of `E` are found with
+/// `O(cols(B) + cols(A))` evaluations, and `E`'s row-`j` minimum value *is*
+/// entry `(i, j)` of the product.  Because a minimum is a single
+/// well-defined value, the returned entries are bitwise-identical to what
+/// [`min_plus_parallel`] stores, regardless of which argmin SMAWK reports.
+///
+/// The caller must guarantee `B` is Monge (use
+/// [`min_plus_product_row_general`] otherwise).
+pub fn min_plus_product_row<A: MatrixAccess, B: MatrixAccess>(a: &A, b: &B, i: usize) -> Vec<Entry> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert!(i < a.rows(), "row out of range");
+    if b.cols() == 0 {
+        return Vec::new();
+    }
+    if a.cols() == 0 {
+        return vec![INF; b.cols()];
+    }
+    let eval = |j: usize, k: usize| sat_add(a.at(i, k), b.at(k, j));
+    let minima = smawk_row_minima(b.cols(), a.cols(), &eval);
+    (0..b.cols()).map(|j| eval(j, minima[j])).collect()
+}
+
+/// One row of the (min,+) product without any Monge assumption: a direct
+/// `O(cols(B) · cols(A))` scan.
+pub fn min_plus_product_row_general<A: MatrixAccess, B: MatrixAccess>(a: &A, b: &B, i: usize) -> Vec<Entry> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert!(i < a.rows(), "row out of range");
+    (0..b.cols()).map(|j| (0..a.cols()).map(|k| sat_add(a.at(i, k), b.at(k, j))).min().unwrap_or(INF)).collect()
 }
 
 /// Lemma 4: multiply matrices of unequal sizes by conceptually padding them
@@ -214,6 +260,26 @@ mod tests {
                 assert_eq!(c.get(i, j), best);
             }
         }
+    }
+
+    #[test]
+    fn lazy_product_rows_match_the_eager_product() {
+        for seed in 40..46 {
+            let a = random_monge(11, 8, seed);
+            let b = random_monge(8, 13, seed + 50);
+            let eager = min_plus_parallel(&a, &b);
+            for i in 0..a.rows() {
+                assert_eq!(min_plus_product_row(&a, &b, i), eager.row(i), "seed {seed} row {i}");
+                assert_eq!(min_plus_product_row_general(&a, &b, i), eager.row(i), "seed {seed} row {i} (general)");
+            }
+        }
+        // Views multiply without being copied out.
+        let a = random_monge(6, 5, 99);
+        let b = random_monge(5, 7, 98);
+        let rows: Vec<usize> = (0..a.rows()).collect();
+        let inner: Vec<usize> = (0..a.cols()).collect();
+        let view = crate::view::SubmatrixView::new(&a, &rows, &inner);
+        assert_eq!(min_plus_parallel(&view, &b), min_plus_parallel(&a, &b));
     }
 
     #[test]

@@ -21,7 +21,8 @@ use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
 /// Version byte prefixed to every frame.  Bump on any wire-visible change.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// (v2: [`CacheStats`] gained the `resident_bytes` distance-store field.)
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on a frame's payload length in bytes (16 MiB).
 pub const MAX_FRAME_LEN: u32 = 16 << 20;
@@ -241,10 +242,14 @@ pub struct CacheStats {
     /// most once while resident, so this equals the number of `Router`
     /// constructions the shard has performed.
     pub misses: u64,
-    /// Sessions dropped by the LRU bound.
+    /// Sessions dropped by the LRU bounds (count cap or byte budget).
     pub evictions: u64,
     /// Sessions currently resident.
     pub resident: u64,
+    /// Bytes the resident sessions' distance stores currently hold (the sum
+    /// of each built router's
+    /// [`memory_stats().resident_bytes`](rsp_core::router::Router::memory_stats)).
+    pub resident_bytes: u64,
 }
 
 /// Admission-queue statistics of one shard (see
@@ -289,6 +294,11 @@ impl ServerStats {
     /// Total sessions dropped by LRU bounds across all shards.
     pub fn total_evictions(&self) -> u64 {
         self.shards.iter().map(|s| s.sessions.evictions).sum()
+    }
+
+    /// Total distance-store bytes resident across all shards' sessions.
+    pub fn total_resident_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.sessions.resident_bytes).sum()
     }
 }
 
@@ -414,7 +424,7 @@ mod tests {
         roundtrip(&Response::Paths { paths: vec![RectiPath::new(vec![Point::new(1, 1), Point::new(1, 9)])] });
         let stats = ServerStats {
             shards: vec![ShardStats {
-                sessions: CacheStats { hits: 1, misses: 2, evictions: 3, resident: 4 },
+                sessions: CacheStats { hits: 1, misses: 2, evictions: 3, resident: 4, resident_bytes: 512 },
                 queue: QueueStats { queries: 5, batches: 6, largest_batch: 7 },
             }],
         };

@@ -10,6 +10,7 @@
 use crate::protocol::{Request, Response, SceneId, ServerError, ServerStats};
 use crate::shard::ShardSet;
 use rsp_core::router::{Engine, Router};
+use rsp_core::store::StoreKind;
 use rsp_geom::{Dist, ObstacleSet, Point, RectiPath};
 use std::sync::Arc;
 use std::time::Duration;
@@ -21,6 +22,10 @@ pub struct ServiceConfig {
     pub shards: usize,
     /// Resident-session bound *per shard* (default 16).
     pub session_capacity: usize,
+    /// Distance-store byte budget *per shard* (default 1 GiB): the summed
+    /// residency of the shard's built routers; crossing it LRU-evicts whole
+    /// sessions (the count cap above is the secondary bound).
+    pub session_budget_bytes: usize,
     /// Admission window: how long a batch stays open after its first query
     /// (default 200 µs; zero dispatches eagerly).
     pub batch_window: Duration,
@@ -29,6 +34,9 @@ pub struct ServiceConfig {
     pub batch_max: usize,
     /// Engine for session construction (default [`Engine::Auto`]).
     pub engine: Engine,
+    /// Distance store for session construction (default [`StoreKind::Auto`]:
+    /// dense for small scenes, byte-budgeted implicit rows for large ones).
+    pub store: StoreKind,
 }
 
 impl Default for ServiceConfig {
@@ -36,9 +44,11 @@ impl Default for ServiceConfig {
         ServiceConfig {
             shards: 1,
             session_capacity: 16,
+            session_budget_bytes: 1 << 30,
             batch_window: Duration::from_micros(200),
             batch_max: 256,
             engine: Engine::Auto,
+            store: StoreKind::Auto,
         }
     }
 }
@@ -190,6 +200,31 @@ mod tests {
         }
         assert_eq!(svc.handle(Request::Evict { scene }), Response::Evicted { existed: true });
         assert_eq!(svc.handle(Request::Evict { scene }), Response::Evicted { existed: false });
+    }
+
+    #[test]
+    fn implicit_store_service_matches_dense_and_reports_memory() {
+        let w = uniform_disjoint(8, 19);
+        let dense_svc = RspService::new(ServiceConfig { store: StoreKind::Dense, ..ServiceConfig::default() });
+        let impl_svc = RspService::new(ServiceConfig {
+            store: StoreKind::Implicit { budget_bytes: 1 << 16 },
+            ..ServiceConfig::default()
+        });
+        let scene_d = dense_svc.load_scene(&w.obstacles).unwrap();
+        let scene_i = impl_svc.load_scene(&w.obstacles).unwrap();
+        // 24 vertex pairs: answers must agree bitwise across backends.
+        let pairs = query_pairs(&w.obstacles, 24, true, 3);
+        assert_eq!(
+            dense_svc.batch_distances(scene_d, &pairs).unwrap(),
+            impl_svc.batch_distances(scene_i, &pairs).unwrap()
+        );
+        // Stats carry per-session memory: the dense session holds the whole
+        // 32x32 matrix, the implicit one only the rows those pairs touched.
+        let d_bytes = dense_svc.stats().total_resident_bytes();
+        let i_bytes = impl_svc.stats().total_resident_bytes();
+        assert_eq!(d_bytes, (4 * w.n() * 4 * w.n() * 8) as u64);
+        assert!(i_bytes > 0);
+        assert!(i_bytes < d_bytes, "at most 24 of 32 rows can be resident");
     }
 
     #[test]

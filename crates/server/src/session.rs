@@ -11,9 +11,13 @@
 //!   the construction itself runs *outside* that mutex inside
 //!   [`OnceLock::get_or_init`], so concurrent loads of *different* scenes
 //!   never serialise on each other.
-//! * **Bounded residency:** at most `capacity` sessions per cache; inserting
-//!   past the bound evicts the least-recently-used entry and counts it in
-//!   [`CacheStats::evictions`].
+//! * **Bounded residency:** the primary bound is a *byte budget* over the
+//!   resident sessions' distance stores (the sum of each built router's
+//!   [`Router::memory_stats`] residency, re-checked on every resolution
+//!   because implicit stores grow as queries materialise rows); the count
+//!   cap `capacity` is the secondary bound.  Crossing either evicts
+//!   least-recently-used entries — never the session just resolved — and
+//!   counts them in [`CacheStats::evictions`].
 //! * **Error caching:** a scene that fails validation (overlapping
 //!   obstacles) caches its typed error.  This is sound because the cache key
 //!   is the geometry hash — a *fixed* scene hashes differently and loads
@@ -21,6 +25,7 @@
 
 use crate::protocol::{CacheStats, SceneId, ServerError};
 use rsp_core::router::{Engine, Router};
+use rsp_core::store::StoreKind;
 use rsp_geom::ObstacleSet;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -50,17 +55,31 @@ struct Inner {
 pub struct SessionCache {
     inner: Mutex<Inner>,
     capacity: usize,
+    budget_bytes: usize,
     engine: Engine,
+    store: StoreKind,
 }
 
 impl SessionCache {
     /// A cache holding at most `capacity` sessions (at least 1), building
-    /// routers with the given engine.
+    /// routers with the given engine, no byte budget ([`usize::MAX`]) and
+    /// the [`StoreKind::Auto`] distance store.
     pub fn new(capacity: usize, engine: Engine) -> Self {
+        Self::with_limits(capacity, usize::MAX, engine, StoreKind::Auto)
+    }
+
+    /// A cache bounded by both a session count and a distance-store byte
+    /// budget, building routers with the given engine and store kind.  The
+    /// byte budget is enforced on every resolution (loads *and* lookups):
+    /// implicit stores grow as queries materialise rows, so residency is
+    /// re-summed each time rather than only at insertion.
+    pub fn with_limits(capacity: usize, budget_bytes: usize, engine: Engine, store: StoreKind) -> Self {
         SessionCache {
             inner: Mutex::new(Inner { entries: HashMap::new(), tick: 0, stats: CacheStats::default() }),
             capacity: capacity.max(1),
+            budget_bytes,
             engine,
+            store,
         }
     }
 
@@ -99,7 +118,9 @@ impl SessionCache {
                 }
             }
         };
-        (scene, self.resolve(&cell, &stored))
+        let result = self.resolve(&cell, &stored);
+        self.enforce_budget(scene);
+        (scene, result)
     }
 
     /// Resolve an already-loaded scene.  [`ServerError::UnknownScene`] when
@@ -119,7 +140,9 @@ impl SessionCache {
                 None => return Err(ServerError::UnknownScene { scene }),
             }
         };
-        self.resolve(&cell, &stored)
+        let result = self.resolve(&cell, &stored);
+        self.enforce_budget(scene);
+        result
     }
 
     /// Build (or wait for the concurrent builder of) a session, outside the
@@ -128,9 +151,51 @@ impl SessionCache {
     /// once per residency; the losers block until it is ready.
     fn resolve(&self, cell: &SessionCell, obstacles: &Arc<ObstacleSet>) -> Result<Arc<Router>, ServerError> {
         cell.get_or_init(|| {
-            Router::builder((**obstacles).clone()).engine(self.engine).build().map(Arc::new).map_err(ServerError::from)
+            Router::builder((**obstacles).clone())
+                .engine(self.engine)
+                .store(self.store)
+                .build()
+                .map(Arc::new)
+                .map_err(ServerError::from)
         })
         .clone()
+    }
+
+    /// Distance-store bytes a resident entry holds: only sessions that
+    /// finished building a router occupy anything (cells mid-build or
+    /// holding a cached error cost 0).
+    fn session_bytes(entry: &Entry) -> usize {
+        match entry.cell.get() {
+            Some(Ok(router)) => router.memory_stats().resident_bytes,
+            _ => 0,
+        }
+    }
+
+    /// Evict least-recently-used sessions until the summed distance-store
+    /// residency fits the byte budget, never evicting `protect` (the session
+    /// the caller just resolved — evicting it would free nothing for the
+    /// caller, who still holds its `Arc`).
+    fn enforce_budget(&self, protect: SceneId) {
+        if self.budget_bytes == usize::MAX {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("session cache poisoned");
+        while inner.entries.len() > 1 {
+            let total: usize = inner.entries.values().map(Self::session_bytes).sum();
+            if total <= self.budget_bytes {
+                break;
+            }
+            let victim =
+                inner.entries.iter().filter(|&(&k, _)| k != protect).min_by_key(|(_, e)| e.last_used).map(|(&k, _)| k);
+            match victim {
+                Some(v) => {
+                    inner.entries.remove(&v);
+                    inner.stats.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        inner.stats.resident = inner.entries.len() as u64;
     }
 
     /// Drop a scene's session.  Returns whether it was resident.  In-flight
@@ -142,11 +207,13 @@ impl SessionCache {
         existed
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, including the summed distance-store residency of
+    /// the built sessions.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("session cache poisoned");
         let mut stats = inner.stats;
         stats.resident = inner.entries.len() as u64;
+        stats.resident_bytes = inner.entries.values().map(Self::session_bytes).sum::<usize>() as u64;
         stats
     }
 }
@@ -203,6 +270,62 @@ mod tests {
         // Re-loading the evicted scene is a fresh build.
         assert!(cache.load(&scene(100)).1.is_ok());
         assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn byte_budget_evicts_by_resident_store_bytes() {
+        // Each dense 2-obstacle session holds an 8x8 matrix = 512 bytes once
+        // its oracle is built.  A 1000-byte budget fits one built session
+        // but not two.
+        let cache = SessionCache::with_limits(16, 1000, Engine::Auto, StoreKind::Dense);
+        let (id0, r0) = cache.load(&scene(0));
+        let r0 = r0.unwrap();
+        // Force the oracle (and thus the matrix) into residency.
+        let _ = r0.distance(rsp_geom::Point::new(-3, -3), rsp_geom::Point::new(12, 9)).unwrap();
+        assert_eq!(cache.stats().resident_bytes, 512);
+        assert_eq!(cache.stats().evictions, 0);
+        let (id1, r1) = cache.load(&scene(100));
+        let r1 = r1.unwrap();
+        let _ = r1.distance(rsp_geom::Point::new(97, -3), rsp_geom::Point::new(112, 9)).unwrap();
+        // Both builds were under budget at resolution time (stores fill at
+        // query time); the next resolution observes 1024 > 1000 and evicts
+        // the LRU session — not the one just resolved.
+        assert!(cache.lookup(id1).is_ok());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.resident, 1);
+        assert!(stats.resident_bytes <= 1000);
+        assert_eq!(cache.lookup(id0).err(), Some(ServerError::UnknownScene { scene: id0 }));
+        assert!(cache.lookup(id1).is_ok());
+    }
+
+    #[test]
+    fn budget_never_evicts_the_protected_session() {
+        // A budget no single built session fits under: the cache must keep
+        // exactly the session just resolved (count 1) and evict the rest,
+        // not thrash the protected one.
+        let cache = SessionCache::with_limits(8, 100, Engine::Auto, StoreKind::Dense);
+        let (id0, r0) = cache.load(&scene(0));
+        let _ = r0.unwrap().distance(rsp_geom::Point::new(-3, -3), rsp_geom::Point::new(12, 9)).unwrap();
+        let (id1, _) = cache.load(&scene(100));
+        assert!(cache.lookup(id1).is_ok(), "resolved session survives its own budget pass");
+        assert_eq!(cache.lookup(id0).err(), Some(ServerError::UnknownScene { scene: id0 }));
+        assert_eq!(cache.stats().resident, 1);
+    }
+
+    #[test]
+    fn implicit_store_sessions_account_row_cache_bytes() {
+        let cache =
+            SessionCache::with_limits(4, usize::MAX, Engine::Auto, StoreKind::Implicit { budget_bytes: 1 << 20 });
+        let (_, r) = cache.load(&scene(0));
+        let r = r.unwrap();
+        assert_eq!(cache.stats().resident_bytes, 0, "nothing resident before the first query");
+        let verts = scene(0).vertices();
+        let _ = r.vertex_distance(verts[0], verts[5]).unwrap();
+        let stats = cache.stats();
+        assert!(stats.resident_bytes > 0, "materialised rows are accounted");
+        assert_eq!(stats.resident_bytes as usize, r.memory_stats().resident_bytes);
+        assert!(stats.resident_bytes < 512, "one row, not the whole 8x8 matrix");
     }
 
     #[test]

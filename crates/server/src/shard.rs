@@ -24,7 +24,12 @@ pub struct Shard {
 impl Shard {
     fn new(config: &ServiceConfig) -> Self {
         Shard {
-            sessions: SessionCache::new(config.session_capacity, config.engine),
+            sessions: SessionCache::with_limits(
+                config.session_capacity,
+                config.session_budget_bytes,
+                config.engine,
+                config.store,
+            ),
             queue: Coalescer::new(config.batch_window, config.batch_max),
         }
     }

@@ -78,6 +78,7 @@ pub use rsp_workload as workload;
 // The session layer: everything a typical application needs, importable
 // without touching the expert `core::*` / `geom::*` module paths.
 pub use rsp_core::router::{BuildCounts, Engine, Router, RouterBuilder};
+pub use rsp_core::store::{StoreKind, StoreStats};
 pub use rsp_core::trace::EscapeKind;
 pub use rsp_core::RspError;
 pub use rsp_geom::{Chain, Coord, DisjointnessViolation, Dist, ObstacleSet, Point, Rect, RectiPath, StairRegion, INF};

@@ -12,7 +12,15 @@
 
 use proptest::prelude::*;
 use rectilinear_shortest_paths::workload::{clustered, corridors, query_pairs, uniform_disjoint};
-use rectilinear_shortest_paths::{Dist, Engine, ObstacleSet, Point, RectiPath, Router};
+use rectilinear_shortest_paths::{Dist, Engine, ObstacleSet, Point, RectiPath, Router, StoreKind};
+
+/// Distance stores under test: the dense matrix and an implicit store with a
+/// deliberately tiny budget (two rows), so eviction churn and lazy
+/// materialisation order are both exercised.
+fn store_kinds(obstacles: &ObstacleSet) -> [StoreKind; 2] {
+    let row_bytes = 4 * obstacles.len() * std::mem::size_of::<Dist>();
+    [StoreKind::Dense, StoreKind::Implicit { budget_bytes: 2 * row_bytes }]
+}
 
 /// Thread counts under test: sequential, minimal parallelism, and the full
 /// machine (deduplicated on small machines).
@@ -37,15 +45,18 @@ fn mixed_batch(obstacles: &ObstacleSet, seed: u64) -> Vec<(Point, Point)> {
     pairs
 }
 
-/// Distances and paths served by one engine at one thread count.
+/// Distances and paths served by one engine at one thread count with one
+/// distance store.
 fn serve(
     obstacles: &ObstacleSet,
     engine: Engine,
     threads: usize,
+    store: StoreKind,
     pairs: &[(Point, Point)],
     vertex_pairs: &[(Point, Point)],
 ) -> (Vec<Dist>, Vec<RectiPath>) {
-    let router = Router::builder(obstacles.clone()).engine(engine).threads(threads).build().expect("valid scene");
+    let router =
+        Router::builder(obstacles.clone()).engine(engine).threads(threads).store(store).build().expect("valid scene");
     let distances = router.distances(pairs).expect("distance batch");
     let paths = router.paths(vertex_pairs).expect("path batch");
     (distances, paths)
@@ -62,14 +73,26 @@ fn every_engine_is_bitwise_deterministic_across_thread_counts() {
         let pairs = mixed_batch(&obstacles, 77);
         let vertex_pairs = query_pairs(&obstacles, 10, true, 99);
         for engine in [Engine::Sequential, Engine::DivideAndConquer, Engine::HananBaseline] {
+            // One reference per engine, shared across the thread-count AND
+            // store matrix: thread scheduling must not move an answer, and
+            // neither may the implicit store's lazy materialisation /
+            // eviction order.
             let mut reference: Option<(Vec<Dist>, Vec<RectiPath>)> = None;
             for threads in thread_counts() {
-                let result = serve(&obstacles, engine, threads, &pairs, &vertex_pairs);
-                match &reference {
-                    None => reference = Some(result),
-                    Some((dist0, paths0)) => {
-                        assert_eq!(&result.0, dist0, "{name}/{engine:?}: distances diverge at {threads} threads");
-                        assert_eq!(&result.1, paths0, "{name}/{engine:?}: paths diverge at {threads} threads");
+                for store in store_kinds(&obstacles) {
+                    let result = serve(&obstacles, engine, threads, store, &pairs, &vertex_pairs);
+                    match &reference {
+                        None => reference = Some(result),
+                        Some((dist0, paths0)) => {
+                            assert_eq!(
+                                &result.0, dist0,
+                                "{name}/{engine:?}/{store:?}: distances diverge at {threads} threads"
+                            );
+                            assert_eq!(
+                                &result.1, paths0,
+                                "{name}/{engine:?}/{store:?}: paths diverge at {threads} threads"
+                            );
+                        }
                     }
                 }
             }
@@ -120,11 +143,13 @@ proptest! {
         let vertex_pairs = query_pairs(&obstacles, 6, true, batch_seed + 7);
         prop_assume!(!pairs.is_empty());
         for engine in [Engine::Sequential, Engine::DivideAndConquer, Engine::HananBaseline] {
-            let baseline = serve(&obstacles, engine, 1, &pairs, &vertex_pairs);
+            let baseline = serve(&obstacles, engine, 1, StoreKind::Dense, &pairs, &vertex_pairs);
             for threads in thread_counts().into_iter().skip(1) {
-                let parallel = serve(&obstacles, engine, threads, &pairs, &vertex_pairs);
-                prop_assert_eq!(&parallel.0, &baseline.0);
-                prop_assert_eq!(&parallel.1, &baseline.1);
+                for store in store_kinds(&obstacles) {
+                    let parallel = serve(&obstacles, engine, threads, store, &pairs, &vertex_pairs);
+                    prop_assert_eq!(&parallel.0, &baseline.0);
+                    prop_assert_eq!(&parallel.1, &baseline.1);
+                }
             }
         }
     }
