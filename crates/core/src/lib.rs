@@ -41,6 +41,7 @@ pub mod bigp;
 pub mod dnc;
 pub mod error;
 pub mod instance;
+pub mod plan;
 pub mod query;
 pub mod router;
 pub mod separator;

@@ -1,0 +1,148 @@
+//! Batch query planning: canonicalise, group, deduplicate.
+//!
+//! A batch against an implicit [`DistanceStore`](crate::store::DistanceStore)
+//! is only as fast as the number of single-source sweeps it triggers.  A
+//! naive per-query loop under eviction pressure re-sweeps a row *per query*
+//! (the E13 cold path); the planner instead rewrites a batch into:
+//!
+//! 1. **Canonical rows** — the rectilinear metric is symmetric, so `(u, v)`
+//!    and `(v, u)` are answered by the single row `min(u, v)`.  Each
+//!    unordered pair names exactly one *providing row*.
+//! 2. **Row-major order** — lookups are grouped per providing row and the
+//!    distinct rows listed in ascending order, so the store can materialise
+//!    (and pin) each row exactly once for the whole batch, and the lazy
+//!    multi-row kernels downstream see adjacent rows together.
+//! 3. **Deduplication** — identical queries collapse to one lookup whose
+//!    result is scattered back to every originating batch slot.
+//!
+//! The planner is pure bookkeeping over indices: it never touches the store,
+//! so its output is trivially deterministic and the answers it scatters are
+//! bitwise-identical to per-call answers by construction.
+
+use rsp_geom::Point;
+use std::collections::HashMap;
+
+/// One deduplicated vertex-pair lookup: read `row`'s entry at `col` and
+/// scatter it to every listed output slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlannedLookup {
+    /// The providing (canonical) row: `min(u, v)` of the original pair.
+    pub row: usize,
+    /// The column to read: `max(u, v)` of the original pair.
+    pub col: usize,
+    /// Output slots of every batch query this lookup answers.
+    pub slots: Vec<usize>,
+}
+
+/// A planned vertex-pair batch: the distinct providing rows (ascending) and
+/// the deduplicated lookups in row-major order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VertexBatchPlan {
+    /// Distinct providing rows, ascending — the working set to materialise
+    /// (and pin) once for the batch.
+    pub rows: Vec<usize>,
+    /// Deduplicated lookups ordered row-major (by `(row, col)`).
+    pub lookups: Vec<PlannedLookup>,
+}
+
+impl VertexBatchPlan {
+    /// Total batch queries this plan answers (sum of slot counts).
+    pub fn query_count(&self) -> usize {
+        self.lookups.iter().map(|l| l.slots.len()).sum()
+    }
+}
+
+/// Plan a batch of vertex-index pairs.  Each item is `(u, v, slot)`: answer
+/// `d(u, v)` into output slot `slot`.  See the module docs for what the
+/// plan guarantees.
+pub fn plan_vertex_pairs(items: &[(usize, usize, usize)]) -> VertexBatchPlan {
+    let mut groups: HashMap<(usize, usize), Vec<usize>> = HashMap::with_capacity(items.len());
+    for &(u, v, slot) in items {
+        let key = if u <= v { (u, v) } else { (v, u) };
+        groups.entry(key).or_default().push(slot);
+    }
+    let mut lookups: Vec<PlannedLookup> =
+        groups.into_iter().map(|((row, col), slots)| PlannedLookup { row, col, slots }).collect();
+    lookups.sort_unstable_by_key(|l| (l.row, l.col));
+    let mut rows: Vec<usize> = lookups.iter().map(|l| l.row).collect();
+    rows.dedup(); // already sorted: row-major lookup order
+    VertexBatchPlan { rows, lookups }
+}
+
+/// Identical point pairs of a batch, collapsed: `unique[g]` is evaluated
+/// once and its answer scattered to every slot in `slots[g]`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DedupedPairs {
+    /// The distinct `(src, dst)` pairs, in first-appearance order.
+    pub unique: Vec<(Point, Point)>,
+    /// `slots[g]`: the output slots answered by `unique[g]`.
+    pub slots: Vec<Vec<usize>>,
+}
+
+/// Deduplicate the selected `slots` of a point-pair batch by exact
+/// `(src, dst)` equality.  (Deliberately *not* by unordered pair: arbitrary
+/// point queries go through the ray-shooting reduction, and only identical
+/// inputs are guaranteed bit-identical outputs without invoking symmetry.)
+pub fn dedupe_point_pairs(pairs: &[(Point, Point)], selected: &[usize]) -> DedupedPairs {
+    let mut index: HashMap<(Point, Point), usize> = HashMap::with_capacity(selected.len());
+    let mut out = DedupedPairs::default();
+    for &slot in selected {
+        let pair = pairs[slot];
+        match index.get(&pair) {
+            Some(&g) => out.slots[g].push(slot),
+            None => {
+                index.insert(pair, out.unique.len());
+                out.unique.push(pair);
+                out.slots.push(vec![slot]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_and_duplicate_pairs_collapse_to_one_row_major_lookup() {
+        // (7,2), (2,7) and a duplicate (7,2) are one lookup on row 2; the
+        // diagonal (5,5) is its own row; everything comes out row-major.
+        let items = [(7, 2, 0), (5, 5, 1), (2, 7, 2), (7, 2, 3), (9, 1, 4)];
+        let plan = plan_vertex_pairs(&items);
+        assert_eq!(plan.rows, vec![1, 2, 5]);
+        assert_eq!(plan.query_count(), 5);
+        assert_eq!(
+            plan.lookups,
+            vec![
+                PlannedLookup { row: 1, col: 9, slots: vec![4] },
+                PlannedLookup { row: 2, col: 7, slots: vec![0, 2, 3] },
+                PlannedLookup { row: 5, col: 5, slots: vec![1] },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_batches_plan_to_nothing() {
+        let plan = plan_vertex_pairs(&[]);
+        assert!(plan.rows.is_empty() && plan.lookups.is_empty());
+        assert_eq!(plan.query_count(), 0);
+        assert_eq!(dedupe_point_pairs(&[], &[]), DedupedPairs::default());
+    }
+
+    #[test]
+    fn point_pair_dedupe_is_exact_and_order_preserving() {
+        let a = Point::new(0, 0);
+        let b = Point::new(5, 3);
+        let c = Point::new(2, 2);
+        let pairs = [(a, b), (b, a), (a, b), (c, c), (a, b)];
+        let deduped = dedupe_point_pairs(&pairs, &[0, 1, 2, 3, 4]);
+        // (b, a) is NOT merged with (a, b): dedupe is by ordered pair.
+        assert_eq!(deduped.unique, vec![(a, b), (b, a), (c, c)]);
+        assert_eq!(deduped.slots, vec![vec![0, 2, 4], vec![1], vec![3]]);
+        // Subset selection only considers the chosen slots.
+        let partial = dedupe_point_pairs(&pairs, &[4, 1]);
+        assert_eq!(partial.unique, vec![(a, b), (b, a)]);
+        assert_eq!(partial.slots, vec![vec![4], vec![1]]);
+    }
+}

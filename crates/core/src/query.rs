@@ -373,13 +373,33 @@ impl PathLengthOracle {
 
     /// [`PathLengthOracle::distance_to_vertex`] with an optional shared
     /// cache for the axis shots from `p`.
+    ///
+    /// Every detour endpoint `vi` the reduction tries needs `d(vi, qi)` —
+    /// which by metric symmetry is entry `vi` of *row `qi`*.  Serving all of
+    /// them from one row handle means an implicit store pays at most one
+    /// sweep per target vertex (for the first detour; certified shots need
+    /// none) instead of materialising a different row per detour candidate.
+    /// The dense arm borrows its row slice directly, keeping this path
+    /// allocation-free.
     fn distance_to_vertex_cached(&self, p: Point, qi: usize, cache: Option<&ShotCache>) -> Dist {
         let q = self.apsp.vertices()[qi];
         if p == q {
             return 0;
         }
         let chain = &self.chains[quadrant_of(q, p)][qi];
-        self.reduce(p, q, &ChainView::whole(chain), cache, false, |vi| self.apsp.distance(vi, qi))
+        let view = ChainView::whole(chain);
+        match self.apsp.store().as_dense() {
+            Some(m) => {
+                let row = m.row(qi);
+                self.reduce(p, q, &view, cache, false, |vi| row[vi])
+            }
+            None => {
+                let store = self.apsp.store().as_implicit().expect("store is dense or implicit");
+                // Lazy: queries certified by a ray shot never touch the row.
+                let row: std::cell::OnceCell<std::sync::Arc<[Dist]>> = std::cell::OnceCell::new();
+                self.reduce(p, q, &view, cache, false, |vi| row.get_or_init(|| store.row(qi))[vi])
+            }
+        }
     }
 
     /// Shoot from `p`, consulting and filling the per-query cache when one

@@ -366,8 +366,17 @@ impl Router {
 
     /// Batch length queries.  Pairs where both endpoints are obstacle
     /// vertices are routed to the `O(1)` matrix fast path; the remaining
-    /// pairs fan out over rayon.  The output is index-aligned with `pairs`
-    /// and equals what per-pair [`Router::distance`] calls would return.
+    /// pairs are deduplicated and fan out over rayon.  The output is
+    /// index-aligned with `pairs` and equals what per-pair
+    /// [`Router::distance`] calls would return.
+    ///
+    /// Under an implicit store the vertex pairs additionally go through the
+    /// batch planner ([`crate::plan`]): each query is canonicalised to its
+    /// providing row, lookups are ordered row-major, and the distinct rows
+    /// are materialised once and pinned for the batch — so a cold batch
+    /// pays one sweep per *distinct row*, not one per query.  The dense
+    /// store bypasses planning entirely (its per-pair read is already a
+    /// single array access).
     pub fn distances(&self, pairs: &[(Point, Point)]) -> Result<Vec<Dist>, RspError> {
         // An empty batch must not force the O(n^2) oracle build: serving
         // layers (rsp-server's admission queue) may dispatch empty windows.
@@ -376,13 +385,19 @@ impl Router {
         }
         let oracle = self.oracle_handle();
         let apsp = oracle.apsp();
+        let implicit = apsp.store().as_implicit();
         let mut out = vec![0 as Dist; pairs.len()];
         let mut slow: Vec<usize> = Vec::new();
+        let mut planned: Vec<(usize, usize, usize)> = Vec::new();
+        let mut mixed_rows: Vec<usize> = Vec::new();
         for (k, &(a, b)) in pairs.iter().enumerate() {
             match (apsp.vertex_index(a), apsp.vertex_index(b)) {
                 // The fast path stays O(1) per pair: vertices never lie
                 // strictly inside an obstacle, so no containment scan runs.
-                (Some(i), Some(j)) => out[k] = apsp.distance(i, j),
+                (Some(i), Some(j)) => match implicit {
+                    None => out[k] = apsp.distance(i, j),
+                    Some(_) => planned.push((i, j, k)),
+                },
                 (ai, bi) => {
                     if ai.is_none() {
                         self.check_point(a)?;
@@ -390,14 +405,43 @@ impl Router {
                     if bi.is_none() {
                         self.check_point(b)?;
                     }
+                    // A mixed pair's vertex endpoint names the row the
+                    // oracle will read detours from — plan it in too.
+                    if implicit.is_some() {
+                        if let Some(i) = ai.or(bi) {
+                            mixed_rows.push(i);
+                        }
+                    }
                     slow.push(k);
                 }
             }
         }
-        let slow_results: Vec<(usize, Dist)> =
-            self.in_pool(|| slow.par_iter().map(|&k| (k, oracle.distance_clear(pairs[k].0, pairs[k].1))).collect());
-        for (k, d) in slow_results {
-            out[k] = d;
+        // The pinned working set (implicit store only) lives until the slow
+        // fan-out below finishes, so arbitrary-point queries reuse the very
+        // rows the vertex lookups just materialised.
+        let _pins = implicit.map(|store| {
+            let plan = crate::plan::plan_vertex_pairs(&planned);
+            let mut rows = plan.rows.clone();
+            rows.extend_from_slice(&mixed_rows);
+            let pins = self.in_pool(|| store.pin_rows(&rows));
+            for lookup in &plan.lookups {
+                let d = match pins.row(lookup.row) {
+                    Some(row) => row[lookup.col],
+                    None => store.distance(lookup.row, lookup.col),
+                };
+                for &slot in &lookup.slots {
+                    out[slot] = d;
+                }
+            }
+            pins
+        });
+        let deduped = crate::plan::dedupe_point_pairs(pairs, &slow);
+        let slow_results: Vec<Dist> =
+            self.in_pool(|| deduped.unique.par_iter().map(|&(a, b)| oracle.distance_clear(a, b)).collect());
+        for (d, slots) in slow_results.into_iter().zip(&deduped.slots) {
+            for &slot in slots {
+                out[slot] = d;
+            }
         }
         Ok(out)
     }
@@ -433,7 +477,9 @@ impl Router {
     }
 
     /// Batch path reporting: builds all missing source trees in one parallel
-    /// pass, then extracts every path.  Output is index-aligned with `pairs`.
+    /// pass, deduplicates identical `(source, target)` pairs, then extracts
+    /// every distinct path once and scatters clones back.  Output is
+    /// index-aligned with `pairs`.
     pub fn paths(&self, pairs: &[(Point, Point)]) -> Result<Vec<RectiPath>, RspError> {
         // As in `distances`: an empty batch touches no lazy substructure
         // (`ensure_trees(&[])` would still build the oracle via the trees
@@ -447,12 +493,22 @@ impl Router {
         }
         let sources: Vec<Point> = pairs.iter().map(|&(s, _)| s).collect();
         self.ensure_trees(&sources);
+        let all: Vec<usize> = (0..pairs.len()).collect();
+        let deduped = crate::plan::dedupe_point_pairs(pairs, &all);
         let guard = self.trees_handle().read().expect("router tree lock poisoned");
         let trees: &ShortestPathTrees = &guard;
-        let out: Vec<RectiPath> = self.in_pool(|| {
-            pairs.par_iter().map(|&(s, t)| trees.path_between(s, t).expect("tree was just ensured")).collect()
+        let extracted: Vec<RectiPath> = self.in_pool(|| {
+            deduped.unique.par_iter().map(|&(s, t)| trees.path_between(s, t).expect("tree was just ensured")).collect()
         });
-        Ok(out)
+        let mut out: Vec<Option<RectiPath>> = vec![None; pairs.len()];
+        for (path, slots) in extracted.into_iter().zip(&deduped.slots) {
+            let (&last, rest) = slots.split_last().expect("every unique pair has a slot");
+            for &slot in rest {
+                out[slot] = Some(path.clone());
+            }
+            out[last] = Some(path);
+        }
+        Ok(out.into_iter().map(|p| p.expect("every slot was scattered")).collect())
     }
 
     /// The number of tree edges between `target` and `source`'s tree root
@@ -669,6 +725,55 @@ mod tests {
             assert_eq!(dense_paths[k].length(), implicit_paths[k].length(), "{s:?} -> {t:?}");
             assert!(implicit_paths[k].certifies(&w.obstacles, s, t, dense_paths[k].length()));
         }
+    }
+
+    #[test]
+    fn planned_implicit_batches_sweep_each_row_once() {
+        let w = uniform_disjoint(8, 17);
+        let row_bytes = 4 * w.n() * std::mem::size_of::<Dist>();
+        // Two-row pin budget, so the batch's working set cannot all be pinned.
+        let implicit = Router::builder(w.obstacles.clone())
+            .store(StoreKind::Implicit { budget_bytes: 2 * row_bytes })
+            .build()
+            .unwrap();
+        let dense = Router::builder(w.obstacles.clone()).store(StoreKind::Dense).build().unwrap();
+        let verts = w.obstacles.vertices();
+        // Many queries, few providing rows: (v0, t) and its flip (t, v0)
+        // canonicalise to row 0; (v5, t) canonicalises to min(5, t).
+        let mut pairs = Vec::new();
+        for &t in verts.iter().step_by(3) {
+            pairs.push((verts[0], t));
+            pairs.push((t, verts[0]));
+            pairs.push((verts[5], t));
+        }
+        let batch = implicit.distances(&pairs).unwrap();
+        assert_eq!(batch, dense.distances(&pairs).unwrap(), "bitwise-identical to dense");
+        let stats = implicit.memory_stats();
+        // Providing rows are {0, 3, 5}: one sweep each, despite 3 queries
+        // per target and a budget below the working set.
+        assert_eq!(stats.row_misses, 3, "one sweep per distinct providing row");
+        assert_eq!(stats.pinned_bytes, 0, "batch pins were released");
+        assert!(stats.resident_bytes <= 2 * row_bytes, "budget enforced after the batch");
+    }
+
+    #[test]
+    fn duplicate_slow_pairs_are_answered_once_and_scattered() {
+        let w = uniform_disjoint(6, 23);
+        let router = Router::new(w.obstacles.clone()).unwrap();
+        let (a, b) = query_pairs(&w.obstacles, 1, false, 3)[0];
+        let pairs = vec![(a, b), (a, b), (b, a), (a, b)];
+        let batch = router.distances(&pairs).unwrap();
+        let d = router.distance(a, b).unwrap();
+        assert_eq!(batch, vec![d, d, d, d], "duplicates and the flip agree with per-call");
+        // Path batches also collapse duplicates (and still certify).
+        let verts = w.obstacles.vertices();
+        let vpairs = vec![(verts[0], verts[7]); 3];
+        let paths = router.paths(&vpairs).unwrap();
+        let len = router.vertex_distance(verts[0], verts[7]).unwrap();
+        for p in &paths {
+            assert!(p.certifies(&w.obstacles, verts[0], verts[7], len));
+        }
+        assert_eq!(router.build_counts().tree_builds, 1);
     }
 
     #[test]

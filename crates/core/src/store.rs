@@ -30,6 +30,7 @@ use crate::seq::SingleSourceEngine;
 use rsp_geom::hanan::HananGrid;
 use rsp_geom::{Dist, ObstacleSet, Point};
 use rsp_monge::{BlockCache, MinPlusMatrix};
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 const ENTRY_BYTES: usize = std::mem::size_of::<Dist>();
@@ -108,6 +109,9 @@ pub struct StoreStats {
     pub row_misses: u64,
     /// Rows evicted to respect the budget (implicit backend only).
     pub row_evictions: u64,
+    /// Bytes currently pinned against eviction by an in-flight batch plan
+    /// (implicit backend only; see [`ImplicitStore::pin_rows`]).
+    pub pinned_bytes: usize,
 }
 
 /// How the implicit store generates a distance row for source `i`.
@@ -151,14 +155,88 @@ impl ImplicitStore {
         cache.get_or_insert_with(i as u64, || self.provider.row(i))
     }
 
-    /// Entry `(i, j)`.
+    /// Entry `(i, j)`, served from *either* endpoint's row.
+    ///
+    /// The rectilinear metric is symmetric (`d(i, j) == d(j, i)`, a property
+    /// the store test suite pins bitwise), so a resident row `j` answers a
+    /// query about row `i` for free.  Only when neither row is resident does
+    /// a sweep run — for the *canonical* row `min(i, j)`, so `(u, v)` and
+    /// `(v, u)` always materialise the same row and a batch planner can
+    /// count on one sweep per unordered pair.  Exactly one hit or miss is
+    /// counted per call, as before.
     pub fn distance(&self, i: usize, j: usize) -> Dist {
-        self.row(i)[j]
+        debug_assert!(i < self.dim && j < self.dim, "index out of range");
+        let mut cache = self.cache.lock().expect("distance row cache poisoned");
+        if let Some(row) = cache.peek(i as u64) {
+            return row[j];
+        }
+        if i != j {
+            if let Some(row) = cache.peek(j as u64) {
+                return row[i];
+            }
+        }
+        let (canon, other) = if i <= j { (i, j) } else { (j, i) };
+        cache.get_or_insert_with(canon as u64, || self.provider.row(canon))[other]
     }
 
     /// Matrix dimension (`4n`).
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// Materialise and pin a working set of rows for a batch's lifetime.
+    ///
+    /// Resident rows are reused (one hit each); the missing ones are swept
+    /// in parallel *outside* the cache lock, then inserted (one miss each) —
+    /// so a batch over `r` distinct rows costs at most `r` sweeps no matter
+    /// how many queries it answers.  Rows are pinned against eviction only
+    /// while the pinned total stays within the byte budget; rows past that
+    /// point are held alive by the guard's own `Arc` handles instead, which
+    /// keeps the answers correct (and still one-sweep) under arbitrarily
+    /// small budgets at the price of letting the cache churn them.  Dropping
+    /// the guard unpins everything and lets deferred evictions run.
+    pub fn pin_rows(&self, rows: &[usize]) -> PinnedRows<'_> {
+        use rayon::prelude::*;
+        let mut distinct: Vec<usize> = rows.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if let Some(&max) = distinct.last() {
+            assert!(max < self.dim, "row out of range");
+        }
+        let row_bytes = self.dim * ENTRY_BYTES;
+        let mut handles: HashMap<usize, Arc<[Dist]>> = HashMap::with_capacity(distinct.len());
+        let mut pinned: Vec<usize> = Vec::with_capacity(distinct.len());
+        let missing: Vec<usize> = {
+            let mut cache = self.cache.lock().expect("distance row cache poisoned");
+            let budget = cache.stats().budget_bytes;
+            distinct
+                .into_iter()
+                .filter(|&i| match cache.peek(i as u64) {
+                    Some(row) => {
+                        if cache.pinned_bytes() + row_bytes <= budget && cache.pin(i as u64) {
+                            pinned.push(i);
+                        }
+                        handles.insert(i, row);
+                        false
+                    }
+                    None => true,
+                })
+                .collect()
+        };
+        // Sweeps run unlocked and in parallel: they dominate cold-batch cost
+        // and must not serialise behind (or block) concurrent readers.
+        let built: Vec<(usize, Vec<Dist>)> = missing.par_iter().map(|&i| (i, self.provider.row(i))).collect();
+        let mut cache = self.cache.lock().expect("distance row cache poisoned");
+        let budget = cache.stats().budget_bytes;
+        for (i, row) in built {
+            let handle = cache.get_or_insert_with(i as u64, || row);
+            if cache.pinned_bytes() + row_bytes <= budget && cache.pin(i as u64) {
+                pinned.push(i);
+            }
+            handles.insert(i, handle);
+        }
+        drop(cache);
+        PinnedRows { store: self, pinned, rows: handles }
     }
 
     /// Memory accounting snapshot.
@@ -171,6 +249,52 @@ impl ImplicitStore {
             row_hits: cache.hits,
             row_misses: cache.misses,
             row_evictions: cache.evictions,
+            pinned_bytes: cache.pinned_bytes,
+        }
+    }
+}
+
+/// A batch's pinned working set of distance rows (see
+/// [`ImplicitStore::pin_rows`]).  Answers row and pair lookups without
+/// touching the cache; dropping it releases every pin.
+pub struct PinnedRows<'a> {
+    store: &'a ImplicitStore,
+    pinned: Vec<usize>,
+    rows: HashMap<usize, Arc<[Dist]>>,
+}
+
+impl PinnedRows<'_> {
+    /// The held row `i`, if it was part of the pinned set.
+    pub fn row(&self, i: usize) -> Option<&[Dist]> {
+        self.rows.get(&i).map(|r| &r[..])
+    }
+
+    /// Distance `(i, j)` answered from the held rows via either endpoint
+    /// (the metric is symmetric).  Panics if neither row was requested from
+    /// [`ImplicitStore::pin_rows`] — the planner guarantees coverage.
+    pub fn distance(&self, i: usize, j: usize) -> Dist {
+        if let Some(row) = self.rows.get(&i) {
+            return row[j];
+        }
+        self.rows.get(&j).map(|row| row[i]).expect("planned batch covers every queried row")
+    }
+
+    /// Number of distinct rows held by this guard.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the guard holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl Drop for PinnedRows<'_> {
+    fn drop(&mut self) {
+        let mut cache = self.store.cache.lock().expect("distance row cache poisoned");
+        for &i in &self.pinned {
+            cache.unpin(i as u64);
         }
     }
 }
@@ -237,6 +361,15 @@ impl DistanceStore {
         match self {
             DistanceStore::Dense(m) => Some(m),
             DistanceStore::Implicit(_) => None,
+        }
+    }
+
+    /// The implicit backend, when this store has one (the batch planner
+    /// pins rows on it; the dense arm needs no planning).
+    pub fn as_implicit(&self) -> Option<&ImplicitStore> {
+        match self {
+            DistanceStore::Dense(_) => None,
+            DistanceStore::Implicit(s) => Some(s),
         }
     }
 
@@ -325,6 +458,66 @@ mod tests {
             }
         }
         assert!(implicit.as_dense().is_none());
+    }
+
+    #[test]
+    fn symmetric_accessor_answers_from_either_resident_row() {
+        let w = uniform_disjoint(5, 3);
+        let store = DistanceStore::implicit_sweep(&w.obstacles, usize::MAX);
+        let dim = store.dim();
+        // Materialise row 2, then ask (7, 2): the resident row must answer
+        // (one hit), with no second sweep for row 7.
+        let d_direct = store.at(2, 7);
+        let before = store.stats();
+        let d_sym = store.at(7, 2);
+        let after = store.stats();
+        assert_eq!(d_sym, d_direct, "metric symmetry");
+        assert_eq!(after.row_misses, before.row_misses, "no extra sweep");
+        assert_eq!(after.row_hits, before.row_hits + 1);
+        // A fresh unordered pair materialises its canonical (min) row only.
+        let _ = store.at(9, 4);
+        let implicit = store.as_implicit().expect("implicit store");
+        assert!(implicit.row(4).len() == dim, "canonical row 4 is resident");
+        assert_eq!(store.stats().row_misses, after.row_misses + 1);
+    }
+
+    #[test]
+    fn pinned_rows_answer_batches_with_one_sweep_per_row() {
+        let w = uniform_disjoint(6, 11);
+        let engine = SingleSourceEngine::new(&w.obstacles);
+        let rows: Vec<Vec<Dist>> = engine.vertices().to_vec().iter().map(|&v| engine.distances_from(v)).collect();
+        let dense = DistanceStore::dense(MinPlusMatrix::from_rows(rows));
+        let dim = dense.dim();
+        let row_bytes = dim * ENTRY_BYTES;
+        let store = DistanceStore::implicit_sweep(&w.obstacles, 2 * row_bytes);
+        let implicit = store.as_implicit().expect("implicit store");
+        {
+            let pins = implicit.pin_rows(&[3, 0, 7, 3, 0]);
+            assert_eq!(pins.len(), 3);
+            assert!(!pins.is_empty());
+            // Only two rows fit the pin budget; the third is held by handle.
+            let stats = store.stats();
+            assert_eq!(stats.pinned_bytes, 2 * row_bytes);
+            assert_eq!(stats.row_misses, 3, "one sweep per distinct row");
+            for j in 0..dim {
+                assert_eq!(pins.distance(0, j), dense.at(0, j), "(0,{j})");
+                assert_eq!(pins.distance(j, 7), dense.at(j, 7), "({j},7) via symmetry");
+            }
+            assert_eq!(pins.row(3).expect("requested row")[5], dense.at(3, 5));
+            assert!(pins.row(9).is_none());
+            // Answering from pins generated no further cache traffic.
+            assert_eq!(store.stats().row_misses, 3);
+            assert_eq!(store.stats().row_hits, 0);
+        }
+        // The guard dropped: pins released, budget enforcement resumes.
+        let stats = store.stats();
+        assert_eq!(stats.pinned_bytes, 0);
+        assert!(stats.resident_bytes <= 2 * row_bytes);
+        // Pinning a still-resident row costs a hit, not a sweep.
+        let pins = implicit.pin_rows(&[0]);
+        assert!(pins.row(0).is_some());
+        assert_eq!(store.stats().row_misses, 3);
+        assert_eq!(store.stats().row_hits, 1);
     }
 
     #[test]

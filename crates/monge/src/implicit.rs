@@ -14,7 +14,7 @@
 //! live in exactly one place.
 
 use crate::matrix::Entry;
-use crate::multiply::{min_plus_product_row, min_plus_product_row_general};
+use crate::multiply::{min_plus_product_row, min_plus_product_row_general, min_plus_product_rows};
 use crate::view::MatrixAccess;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -30,6 +30,8 @@ pub struct BlockCacheStats {
     pub evictions: u64,
     /// Bytes currently held by resident blocks.
     pub resident_bytes: usize,
+    /// Bytes held by blocks currently pinned against eviction.
+    pub pinned_bytes: usize,
     /// The configured byte budget.
     pub budget_bytes: usize,
 }
@@ -38,6 +40,7 @@ struct Block {
     data: Arc<[Entry]>,
     bytes: usize,
     last_used: u64,
+    pins: u32,
 }
 
 /// A byte-budgeted LRU cache of `Arc<[Entry]>` blocks keyed by `u64`.
@@ -47,11 +50,19 @@ struct Block {
 /// survives its own insertion so a request can never return an evicted
 /// block.  A budget smaller than one block therefore degenerates to
 /// "recompute every time, keep exactly one block", which is still correct.
+///
+/// Blocks can additionally be *pinned* ([`BlockCache::pin`]): a pinned block
+/// is never chosen as an eviction victim, which lets a batch planner
+/// materialise a working set once and answer many queries against it without
+/// the queries in between churning it out.  All counters use saturating
+/// arithmetic so mismatched pin/unpin sequences can only stall eviction
+/// accounting, never underflow it.
 pub struct BlockCache {
     budget_bytes: usize,
     blocks: HashMap<u64, Block>,
     tick: u64,
     resident_bytes: usize,
+    pinned_bytes: usize,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -65,6 +76,7 @@ impl BlockCache {
             blocks: HashMap::new(),
             tick: 0,
             resident_bytes: 0,
+            pinned_bytes: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
@@ -76,32 +88,82 @@ impl BlockCache {
         self.tick += 1;
         if let Some(block) = self.blocks.get_mut(&key) {
             block.last_used = self.tick;
-            self.hits += 1;
+            self.hits = self.hits.saturating_add(1);
             return Arc::clone(&block.data);
         }
-        self.misses += 1;
+        self.misses = self.misses.saturating_add(1);
         let data: Arc<[Entry]> = build().into();
         let bytes = std::mem::size_of_val(&data[..]);
-        self.resident_bytes += bytes;
-        self.blocks.insert(key, Block { data: Arc::clone(&data), bytes, last_used: self.tick });
+        self.resident_bytes = self.resident_bytes.saturating_add(bytes);
+        self.blocks.insert(key, Block { data: Arc::clone(&data), bytes, last_used: self.tick, pins: 0 });
+        self.enforce_budget(key);
+        data
+    }
+
+    /// Return the block for `key` if it is resident, touching its LRU slot
+    /// and counting a hit; an absent key counts nothing (a probe is not a
+    /// failed request — the caller decides whether to build).
+    pub fn peek(&mut self, key: u64) -> Option<Arc<[Entry]>> {
+        self.tick += 1;
+        let block = self.blocks.get_mut(&key)?;
+        block.last_used = self.tick;
+        self.hits = self.hits.saturating_add(1);
+        Some(Arc::clone(&block.data))
+    }
+
+    /// Pin the resident block for `key` against eviction.  Returns whether a
+    /// block was pinned (false if the key is not resident).  Pins nest: each
+    /// [`BlockCache::pin`] needs a matching [`BlockCache::unpin`].
+    pub fn pin(&mut self, key: u64) -> bool {
+        let Some(block) = self.blocks.get_mut(&key) else { return false };
+        if block.pins == 0 {
+            self.pinned_bytes = self.pinned_bytes.saturating_add(block.bytes);
+        }
+        block.pins = block.pins.saturating_add(1);
+        true
+    }
+
+    /// Release one pin on `key`.  Unpinning an absent or unpinned block is a
+    /// no-op (saturating), never an underflow.
+    pub fn unpin(&mut self, key: u64) {
+        let Some(block) = self.blocks.get_mut(&key) else { return };
+        let was_pinned = block.pins > 0;
+        block.pins = block.pins.saturating_sub(1);
+        let now_unpinned = was_pinned && block.pins == 0;
+        if now_unpinned {
+            self.pinned_bytes = self.pinned_bytes.saturating_sub(block.bytes);
+            // Deferred evictions: pins may have held the cache over budget.
+            self.enforce_budget(key);
+        }
+    }
+
+    /// Evict unpinned LRU blocks (sparing `protect`) until the resident
+    /// total fits the budget or no victim remains.
+    fn enforce_budget(&mut self, protect: u64) {
         while self.resident_bytes > self.budget_bytes && self.blocks.len() > 1 {
-            let victim = self
+            let Some(victim) = self
                 .blocks
                 .iter()
-                .filter(|&(&k, _)| k != key)
+                .filter(|&(&k, b)| k != protect && b.pins == 0)
                 .min_by_key(|(_, b)| b.last_used)
                 .map(|(&k, _)| k)
-                .expect("len > 1 guarantees a victim besides the protected key");
+            else {
+                break; // everything else is pinned; stay over budget for now
+            };
             let gone = self.blocks.remove(&victim).expect("victim key was just observed");
-            self.resident_bytes -= gone.bytes;
-            self.evictions += 1;
+            self.resident_bytes = self.resident_bytes.saturating_sub(gone.bytes);
+            self.evictions = self.evictions.saturating_add(1);
         }
-        data
     }
 
     /// Bytes currently held by resident blocks.
     pub fn resident_bytes(&self) -> usize {
         self.resident_bytes
+    }
+
+    /// Bytes currently pinned against eviction.
+    pub fn pinned_bytes(&self) -> usize {
+        self.pinned_bytes
     }
 
     /// Number of resident blocks.
@@ -121,6 +183,7 @@ impl BlockCache {
             misses: self.misses,
             evictions: self.evictions,
             resident_bytes: self.resident_bytes,
+            pinned_bytes: self.pinned_bytes,
             budget_bytes: self.budget_bytes,
         }
     }
@@ -184,6 +247,46 @@ impl<A: MatrixAccess, B: MatrixAccess> ImplicitMongeMatrix<A, B> {
     pub fn at(&self, i: usize, j: usize) -> Entry {
         assert!(j < self.cols(), "column out of range");
         self.row(i)[j]
+    }
+
+    /// Materialise a batch of rows at once, in request order.
+    ///
+    /// Resident rows are served from the cache (counting hits); the missing
+    /// ones are computed together through [`min_plus_product_rows`], which
+    /// reuses the SMAWK-reduced column set between adjacent rows instead of
+    /// re-reducing from scratch per row, then inserted (counting one miss
+    /// each).  The returned `Arc`s keep every requested row alive even when
+    /// the byte budget forces some of them straight back out of the cache,
+    /// so correctness never depends on the budget.
+    pub fn rows_batch(&self, rows: &[usize]) -> Vec<Arc<[Entry]>> {
+        for &i in rows {
+            assert!(i < self.rows(), "row out of range");
+        }
+        let mut distinct: Vec<usize> = rows.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut cache = self.cache.lock().expect("implicit product cache poisoned");
+        let mut handles: HashMap<usize, Arc<[Entry]>> = HashMap::with_capacity(distinct.len());
+        let missing: Vec<usize> = distinct
+            .into_iter()
+            .filter(|&i| match cache.peek(i as u64) {
+                Some(data) => {
+                    handles.insert(i, data);
+                    false
+                }
+                None => true,
+            })
+            .collect();
+        let built = if self.monge {
+            min_plus_product_rows(&self.a, &self.b, &missing)
+        } else {
+            missing.iter().map(|&i| min_plus_product_row_general(&self.a, &self.b, i)).collect()
+        };
+        for (&i, data) in missing.iter().zip(built) {
+            let handle = cache.get_or_insert_with(i as u64, || data);
+            handles.insert(i, handle);
+        }
+        rows.iter().map(|i| Arc::clone(&handles[i])).collect()
     }
 
     /// Cache counter snapshot (resident bytes, hit/miss/eviction counts).
@@ -262,6 +365,88 @@ mod tests {
         for i in 0..16 {
             assert_eq!(&lazy.row(i)[..], eager.row(i), "row {i} after churn");
         }
+    }
+
+    #[test]
+    fn batched_rows_match_single_rows_and_count_one_miss_each() {
+        let a = random_monge(20, 9, 21);
+        let b = random_monge(9, 33, 22);
+        let row_bytes = 33 * std::mem::size_of::<Entry>();
+        let lazy = ImplicitMongeMatrix::product(&a, &b, 2 * row_bytes);
+        let eager = min_plus_parallel(&a, &b);
+        // Duplicates and arbitrary order are allowed; results in request order.
+        let request = [5usize, 2, 17, 2, 9, 5];
+        let batch = lazy.rows_batch(&request);
+        for (out, &i) in batch.iter().zip(&request) {
+            assert_eq!(&out[..], eager.row(i), "row {i}");
+        }
+        let stats = lazy.cache_stats();
+        assert_eq!(stats.misses, 4, "one sweep per distinct row");
+        assert!(stats.resident_bytes <= 2 * row_bytes, "budget still enforced");
+        // General (non-Monge) mode goes through the per-row scan but must
+        // agree bitwise as well.
+        let general = ImplicitMongeMatrix::product_general(&a, &b, usize::MAX);
+        for (out, &i) in general.rows_batch(&request).iter().zip(&request) {
+            assert_eq!(&out[..], eager.row(i), "general row {i}");
+        }
+    }
+
+    #[test]
+    fn pinned_blocks_survive_churn_and_unpin_restores_eviction() {
+        let row_bytes = 4 * std::mem::size_of::<Entry>();
+        let mut cache = BlockCache::new(2 * row_bytes);
+        let _ = cache.get_or_insert_with(0, || vec![0; 4]);
+        assert!(cache.pin(0), "resident block must pin");
+        assert_eq!(cache.stats().pinned_bytes, row_bytes);
+        // Churn many other blocks through the remaining single-row headroom:
+        // the pinned block must never be the victim.
+        for k in 1..10u64 {
+            let _ = cache.get_or_insert_with(k, || vec![k as Entry; 4]);
+        }
+        assert!(cache.peek(0).is_some(), "pinned block evicted under churn");
+        assert!(cache.resident_bytes() <= 2 * row_bytes);
+        cache.unpin(0);
+        assert_eq!(cache.stats().pinned_bytes, 0);
+        // With the pin gone the block is evictable again.
+        for k in 10..14u64 {
+            let _ = cache.get_or_insert_with(k, || vec![k as Entry; 4]);
+        }
+        assert!(cache.peek(0).is_none(), "unpinned LRU block should churn out");
+    }
+
+    #[test]
+    fn pins_past_budget_stall_eviction_without_underflow() {
+        let row_bytes = 4 * std::mem::size_of::<Entry>();
+        let mut cache = BlockCache::new(row_bytes); // budget: one row
+        for k in 0..3u64 {
+            let _ = cache.get_or_insert_with(k, || vec![k as Entry; 4]);
+            cache.pin(k);
+        }
+        // Everything is pinned: over budget, but nothing evictable.
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().pinned_bytes, 3 * row_bytes);
+        // Redundant unpins saturate instead of underflowing.
+        for _ in 0..5 {
+            cache.unpin(7); // absent key
+            cache.unpin(2);
+        }
+        assert!(cache.stats().pinned_bytes <= 2 * row_bytes);
+        cache.unpin(0);
+        cache.unpin(1);
+        assert_eq!(cache.stats().pinned_bytes, 0);
+        assert!(cache.resident_bytes() <= 2 * row_bytes, "deferred evictions ran");
+    }
+
+    #[test]
+    fn peek_counts_hits_only_for_resident_blocks() {
+        let mut cache = BlockCache::new(usize::MAX);
+        assert!(cache.peek(3).is_none());
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 0);
+        let _ = cache.get_or_insert_with(3, || vec![1, 2, 3]);
+        assert!(cache.peek(3).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]

@@ -42,5 +42,8 @@ pub mod view;
 pub use implicit::{BlockCache, BlockCacheStats, ImplicitMongeMatrix};
 pub use matrix::MinPlusMatrix;
 pub use monge::{is_monge, monge_violation};
-pub use multiply::{min_plus_monge, min_plus_naive, min_plus_parallel};
+pub use multiply::{
+    min_plus_monge, min_plus_naive, min_plus_parallel, min_plus_product_row, min_plus_product_row_general,
+    min_plus_product_rows,
+};
 pub use view::{MatrixAccess, PaddedView, SubmatrixView};

@@ -25,6 +25,17 @@ pub trait MatrixAccess {
     fn cols(&self) -> usize;
     /// Entry at `(i, j)`.
     fn at(&self, i: usize, j: usize) -> Entry;
+    /// Row `i` as a contiguous slice, when the representation stores one.
+    ///
+    /// The default is `None` (views resolve entries through index
+    /// indirection and have no contiguous storage); dense matrices return
+    /// their backing row so blocked kernels can stream it without per-entry
+    /// bounds checks.  Implementations must return exactly
+    /// `at(i, 0..cols())` — callers treat the slice as a pure fast path.
+    #[inline]
+    fn row_slice(&self, _i: usize) -> Option<&[Entry]> {
+        None
+    }
 }
 
 impl MatrixAccess for MinPlusMatrix {
@@ -38,6 +49,10 @@ impl MatrixAccess for MinPlusMatrix {
     fn at(&self, i: usize, j: usize) -> Entry {
         self.get(i, j)
     }
+    #[inline]
+    fn row_slice(&self, i: usize) -> Option<&[Entry]> {
+        Some(self.row(i))
+    }
 }
 
 impl<M: MatrixAccess + ?Sized> MatrixAccess for &M {
@@ -50,6 +65,10 @@ impl<M: MatrixAccess + ?Sized> MatrixAccess for &M {
     #[inline]
     fn at(&self, i: usize, j: usize) -> Entry {
         (**self).at(i, j)
+    }
+    #[inline]
+    fn row_slice(&self, i: usize) -> Option<&[Entry]> {
+        (**self).row_slice(i)
     }
 }
 
@@ -160,6 +179,26 @@ mod tests {
         // the generic predicate without materialising anything.
         let monge = crate::monge::distance_monge(&[0, 3, 7], &[1, 5], 2);
         assert!(is_monge(&PaddedView::new(&monge, 5, 4)));
+    }
+
+    #[test]
+    fn row_slice_is_dense_only_and_agrees_with_at() {
+        let m = MinPlusMatrix::from_fn(4, 5, |i, j| (3 * i + j) as Entry);
+        let by_ref = &m;
+        for i in 0..4 {
+            let slice = m.row_slice(i).expect("dense matrices expose rows");
+            let via_ref =
+                <&MinPlusMatrix as MatrixAccess>::row_slice(&by_ref, i).expect("references forward the slice");
+            assert_eq!(slice, via_ref);
+            for (j, &v) in slice.iter().enumerate() {
+                assert_eq!(v, m.at(i, j));
+            }
+        }
+        let rows = [0usize, 2];
+        let cols = [1usize, 3];
+        let view = SubmatrixView::new(&m, &rows, &cols);
+        assert!(view.row_slice(0).is_none(), "views have no contiguous rows");
+        assert!(PaddedView::new(&m, 6, 6).row_slice(0).is_none());
     }
 
     #[test]

@@ -237,6 +237,45 @@ mod tests {
     }
 
     #[test]
+    fn coalesced_window_on_implicit_store_sweeps_each_row_once() {
+        let w = uniform_disjoint(8, 17);
+        let verts = w.obstacles.vertices();
+        let dim = verts.len();
+        // A two-row budget: without planning, ten queries alternating
+        // between rows 0 and 2 would thrash; the planner pins both rows
+        // for the batch and sweeps each exactly once.
+        let budget = 2 * dim * std::mem::size_of::<Dist>();
+        let router = Arc::new(
+            rsp_core::router::Router::builder(w.obstacles.clone())
+                .store(rsp_core::store::StoreKind::Implicit { budget_bytes: budget })
+                .build()
+                .unwrap(),
+        );
+        let dense = Router::new(w.obstacles.clone()).unwrap();
+        // Ten vertex queries, both orientations, spanning two canonical
+        // rows (0 and 2).
+        let mut pairs = Vec::new();
+        for t in (4..24).step_by(5) {
+            pairs.push((verts[0], verts[t]));
+            pairs.push((verts[t], verts[0]));
+        }
+        pairs.push((verts[5], verts[2]));
+        pairs.push((verts[2], verts[5]));
+        // A long window with the budget set to the query count: the whole
+        // window dispatches as exactly one batch, deterministically.
+        let queue = Coalescer::new(Duration::from_secs(60), pairs.len());
+        let receivers: Vec<_> = pairs.iter().map(|&(a, b)| queue.submit(Arc::clone(&router), a, b)).collect();
+        for (rx, &(a, b)) in receivers.iter().zip(&pairs) {
+            let got = rx.recv_timeout(Duration::from_secs(20)).unwrap().unwrap();
+            assert_eq!(got, dense.distance(a, b).unwrap(), "{a:?} -> {b:?}");
+        }
+        assert_eq!(queue.stats().batches, 1, "one coalesced dispatch");
+        let stats = router.memory_stats();
+        assert_eq!(stats.row_misses, 2, "one sweep per distinct canonical row");
+        assert_eq!(stats.pinned_bytes, 0, "batch pins released");
+    }
+
+    #[test]
     fn shutdown_drains_pending_queries() {
         let w = uniform_disjoint(4, 11);
         let router = Arc::new(Router::new(w.obstacles.clone()).unwrap());

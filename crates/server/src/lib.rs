@@ -46,8 +46,8 @@ pub mod shard;
 pub use admission::Coalescer;
 pub use client::{Client, ClientError};
 pub use protocol::{
-    CacheStats, QueueStats, Request, Response, SceneId, ServerError, ServerStats, ShardStats, WireError, MAX_FRAME_LEN,
-    PROTOCOL_VERSION,
+    CacheStats, QueueStats, Request, Response, SceneId, ServerError, ServerStats, SessionStoreStats, ShardStats,
+    WireError, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 pub use server::Server;
 pub use service::{RspService, ServiceConfig};

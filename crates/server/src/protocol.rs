@@ -21,8 +21,10 @@ use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
 /// Version byte prefixed to every frame.  Bump on any wire-visible change.
-/// (v2: [`CacheStats`] gained the `resident_bytes` distance-store field.)
-pub const PROTOCOL_VERSION: u8 = 2;
+/// (v2: [`CacheStats`] gained the `resident_bytes` distance-store field.
+/// v3: [`ShardStats`] gained `stores`, the per-session distance-store
+/// breakdown of [`SessionStoreStats`].)
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Upper bound on a frame's payload length in bytes (16 MiB).
 pub const MAX_FRAME_LEN: u32 = 16 << 20;
@@ -264,13 +266,40 @@ pub struct QueueStats {
     pub largest_batch: u64,
 }
 
-/// One shard's statistics.
+/// Distance-store memory accounting of one resident session, as reported by
+/// [`Router::memory_stats`](rsp_core::router::Router::memory_stats) — so an
+/// operator can see resident/hit/miss (and batch-pinning) behaviour per
+/// scene over the wire instead of only the shard-wide byte total.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionStoreStats {
+    /// The scene this session serves.
+    pub scene: SceneId,
+    /// Bytes the session's distance store holds resident.
+    pub resident_bytes: u64,
+    /// Bytes currently pinned by in-flight batch plans.
+    pub pinned_bytes: u64,
+    /// The store's configured byte budget.
+    pub budget_bytes: u64,
+    /// What a dense matrix for this scene would cost.
+    pub dense_bytes: u64,
+    /// Distance-row requests served from a resident row.
+    pub row_hits: u64,
+    /// Distance-row requests that ran a single-source sweep.
+    pub row_misses: u64,
+    /// Distance rows evicted to respect the byte budget.
+    pub row_evictions: u64,
+}
+
+/// One shard's statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardStats {
     /// Session-cache counters.
     pub sessions: CacheStats,
     /// Admission-queue counters.
     pub queue: QueueStats,
+    /// Per-session distance-store breakdown (built sessions only), ordered
+    /// by scene id for a stable wire representation.
+    pub stores: Vec<SessionStoreStats>,
 }
 
 /// Whole-server statistics: one entry per shard.
@@ -426,6 +455,16 @@ mod tests {
             shards: vec![ShardStats {
                 sessions: CacheStats { hits: 1, misses: 2, evictions: 3, resident: 4, resident_bytes: 512 },
                 queue: QueueStats { queries: 5, batches: 6, largest_batch: 7 },
+                stores: vec![SessionStoreStats {
+                    scene: 11,
+                    resident_bytes: 128,
+                    pinned_bytes: 64,
+                    budget_bytes: 256,
+                    dense_bytes: 4096,
+                    row_hits: 8,
+                    row_misses: 9,
+                    row_evictions: 10,
+                }],
             }],
         };
         roundtrip(&Response::Stats { stats });

@@ -225,6 +225,21 @@ mod tests {
         assert_eq!(d_bytes, (4 * w.n() * 4 * w.n() * 8) as u64);
         assert!(i_bytes > 0);
         assert!(i_bytes < d_bytes, "at most 24 of 32 rows can be resident");
+        // The per-session breakdown travels on the wire too (protocol v3):
+        // each built session reports its store counters keyed by scene id.
+        let impl_stores: Vec<_> = impl_svc.stats().shards.into_iter().flat_map(|s| s.stores).collect();
+        assert_eq!(impl_stores.len(), 1);
+        let s = &impl_stores[0];
+        assert_eq!(s.scene, scene_i);
+        assert_eq!(s.resident_bytes, i_bytes);
+        assert_eq!(s.budget_bytes, 1 << 16);
+        assert_eq!(s.dense_bytes, d_bytes);
+        assert!(s.row_misses > 0, "cold rows were swept");
+        assert_eq!(s.pinned_bytes, 0, "no batch in flight");
+        let dense_stores: Vec<_> = dense_svc.stats().shards.into_iter().flat_map(|s| s.stores).collect();
+        assert_eq!(dense_stores.len(), 1);
+        assert_eq!(dense_stores[0].resident_bytes, d_bytes);
+        assert_eq!(dense_stores[0].row_misses, 0, "dense rows never sweep");
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //!   is the geometry hash — a *fixed* scene hashes differently and loads
 //!   fresh.
 
-use crate::protocol::{CacheStats, SceneId, ServerError};
+use crate::protocol::{CacheStats, SceneId, ServerError, SessionStoreStats};
 use rsp_core::router::{Engine, Router};
 use rsp_core::store::StoreKind;
 use rsp_geom::ObstacleSet;
@@ -215,6 +215,36 @@ impl SessionCache {
         stats.resident = inner.entries.len() as u64;
         stats.resident_bytes = inner.entries.values().map(Self::session_bytes).sum::<usize>() as u64;
         stats
+    }
+
+    /// Per-session distance-store breakdown of every resident session whose
+    /// router finished building, ordered by scene id so the wire form is
+    /// stable.  Sessions mid-build or holding a cached error are omitted —
+    /// they have no store to report.
+    pub fn store_stats(&self) -> Vec<SessionStoreStats> {
+        let inner = self.inner.lock().expect("session cache poisoned");
+        let mut out: Vec<SessionStoreStats> = inner
+            .entries
+            .iter()
+            .filter_map(|(&scene, entry)| match entry.cell.get() {
+                Some(Ok(router)) => {
+                    let s = router.memory_stats();
+                    Some(SessionStoreStats {
+                        scene,
+                        resident_bytes: s.resident_bytes as u64,
+                        pinned_bytes: s.pinned_bytes as u64,
+                        budget_bytes: s.budget_bytes as u64,
+                        dense_bytes: s.dense_bytes as u64,
+                        row_hits: s.row_hits,
+                        row_misses: s.row_misses,
+                        row_evictions: s.row_evictions,
+                    })
+                }
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable_by_key(|s| s.scene);
+        out
     }
 }
 

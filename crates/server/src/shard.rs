@@ -34,9 +34,10 @@ impl Shard {
         }
     }
 
-    /// Counter snapshot of both components.
+    /// Counter snapshot of both components, plus the per-session
+    /// distance-store breakdown.
     pub fn stats(&self) -> ShardStats {
-        ShardStats { sessions: self.sessions.stats(), queue: self.queue.stats() }
+        ShardStats { sessions: self.sessions.stats(), queue: self.queue.stats(), stores: self.sessions.store_stats() }
     }
 }
 

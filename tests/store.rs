@@ -68,6 +68,80 @@ proptest! {
             prop_assert_eq!(&impl_paths, &dense_paths);
         }
     }
+
+    /// The batch planner is invisible in results and visible in sweeps: a
+    /// vertex batch full of duplicates and flipped orientations is
+    /// bitwise-equal to dense across every engine, and the starved store's
+    /// miss counter is bounded by the number of distinct canonical rows —
+    /// i.e. each providing row is swept at most once per batch even though
+    /// the two-row budget cannot hold the batch's working set.
+    #[test]
+    fn planned_batches_are_bitwise_dense_with_bounded_sweeps(
+        which in 0usize..3,
+        n in 2usize..7,
+        scene_seed in any::<u64>(),
+        batch_seed in any::<u64>(),
+    ) {
+        let obstacles = family(which, n, scene_seed);
+        let base = query_pairs(&obstacles, 12, true, batch_seed);
+        prop_assume!(!base.is_empty());
+        let mut pairs = base.clone();
+        pairs.extend(base.iter().map(|&(a, b)| (b, a)));
+        pairs.extend_from_slice(&base[..base.len() / 2]);
+        let verts = obstacles.vertices();
+        let index: std::collections::HashMap<Point, usize> =
+            verts.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let distinct_rows = pairs
+            .iter()
+            .map(|&(a, b)| std::cmp::min(index[&a], index[&b]))
+            .collect::<std::collections::HashSet<_>>()
+            .len() as u64;
+        for engine in [Engine::Sequential, Engine::DivideAndConquer, Engine::HananBaseline] {
+            let build = |store: StoreKind| {
+                Router::builder(obstacles.clone()).engine(engine).store(store).build().expect("valid scene")
+            };
+            let dense = build(StoreKind::Dense);
+            let implicit = build(starved(&obstacles));
+            prop_assert_eq!(implicit.distances(&pairs).expect("batch"), dense.distances(&pairs).expect("batch"));
+            let stats = implicit.memory_stats();
+            prop_assert!(
+                stats.row_misses <= distinct_rows,
+                "{} sweeps for {} distinct canonical rows", stats.row_misses, distinct_rows
+            );
+            prop_assert_eq!(stats.pinned_bytes, 0);
+        }
+    }
+
+    /// Batch deduplication is exact: a batch with repeated and flipped
+    /// arbitrary-point pairs — the slow ray-shooting path — and repeated
+    /// vertex path reports answers every slot bitwise-identically to the
+    /// equivalent per-call sequence.
+    #[test]
+    fn deduped_batches_equal_per_call_answers(
+        which in 0usize..3,
+        n in 2usize..6,
+        scene_seed in any::<u64>(),
+        batch_seed in any::<u64>(),
+    ) {
+        let obstacles = family(which, n, scene_seed);
+        let base = query_pairs(&obstacles, 8, false, batch_seed);
+        prop_assume!(!base.is_empty());
+        let mut pairs = base.clone();
+        pairs.extend_from_slice(&base[..base.len().div_ceil(2)]);
+        pairs.extend(base.iter().map(|&(a, b)| (b, a)));
+        let router = Router::new(obstacles.clone()).expect("valid scene");
+        let batch = router.distances(&pairs).expect("batch");
+        for (&(a, b), &d) in pairs.iter().zip(&batch) {
+            prop_assert_eq!(d, router.distance(a, b).expect("per-call"));
+        }
+        let vbase = query_pairs(&obstacles, 4, true, batch_seed ^ 0x9e37);
+        let mut vpairs = vbase.clone();
+        vpairs.extend_from_slice(&vbase);
+        let paths = router.paths(&vpairs).expect("paths");
+        for (&(s, t), p) in vpairs.iter().zip(&paths) {
+            prop_assert_eq!(p, &router.path(s, t).expect("per-call path"));
+        }
+    }
 }
 
 /// `StoreKind::Auto` is the deployment default, so its resolution is part of
@@ -162,4 +236,57 @@ fn large_scene_serving_smoke() {
     assert!(stats.resident_bytes > 0);
     assert!(stats.resident_bytes <= stats.budget_bytes);
     assert!(stats.resident_bytes * 10 <= stats.dense_bytes, "serving must stay within 10% of dense");
+}
+
+/// The cold-batch acceptance smoke: a 256-query vertex batch at n = 1024
+/// against a freshly built implicit session starved to a two-row budget —
+/// the exact shape the PR 8 `implicit_churn` arm measured at 902 ms per
+/// batch (E13).  The planner must collapse it to one sweep per distinct
+/// canonical row (8 hot sources here), which caps wall clock far below the
+/// per-call baseline; 450 ms — half the old cost — is a loose bar that
+/// still fails if planning ever regresses to per-query re-sweeps.
+/// `#[ignore]`d because the timing bar only means something in release; CI
+/// runs it in the release `--ignored` step.
+#[test]
+#[ignore = "timing bar; run in release (CI large-n smoke step)"]
+fn cold_batch_plans_one_sweep_per_row_within_time_budget() {
+    let n = 1024usize;
+    let w = uniform_disjoint(n, 7);
+    let row_bytes = 4 * n * std::mem::size_of::<Dist>();
+    let router = Router::builder(w.obstacles.clone())
+        .store(StoreKind::Implicit { budget_bytes: 2 * row_bytes })
+        .build()
+        .expect("valid scene");
+
+    // 256 vertex queries fanned out from 8 hot sources (the lowest vertex
+    // indices, so each pair's canonical row is its source), alternating
+    // orientation so symmetry canonicalisation is load-bearing.
+    let verts = w.obstacles.vertices();
+    let m = verts.len();
+    let mut pairs: Vec<(Point, Point)> = Vec::with_capacity(256);
+    for k in 0..256usize {
+        let s = verts[k % 8];
+        let t = verts[8 + (k * 131 + 17) % (m - 8)];
+        pairs.push(if k % 2 == 0 { (s, t) } else { (t, s) });
+    }
+
+    let start = std::time::Instant::now();
+    let got = router.distances(&pairs).expect("cold batch");
+    let elapsed = start.elapsed();
+
+    // Counter snapshot first, so the consistency probes below don't blur it.
+    let stats = router.memory_stats();
+    assert_eq!(stats.row_misses as usize, 8, "one sweep per hot source, not per query");
+    assert_eq!(stats.pinned_bytes, 0, "batch pins released");
+    assert!(stats.resident_bytes <= stats.budget_bytes, "starved budget holds after the batch");
+    assert!(elapsed < std::time::Duration::from_millis(450), "cold batch took {elapsed:?} (bar: 450 ms)");
+
+    // Answers are internally consistent: L1 lower bound everywhere, and a
+    // sample of flipped orientations agrees bitwise with per-call answers.
+    for (&(a, b), &d) in pairs.iter().zip(&got) {
+        assert!(d >= a.l1(b), "distance below the L1 lower bound");
+    }
+    for (&(a, b), &d) in pairs.iter().zip(&got).step_by(17) {
+        assert_eq!(d, router.distance(b, a).unwrap(), "symmetry against the per-call path");
+    }
 }
