@@ -1,0 +1,83 @@
+//! Epoch-to-epoch delta plumbing for [`Router::apply_delta`](crate::Router::apply_delta).
+//!
+//! A scene edit compacts obstacle ids ([`ObstacleSet::apply_delta`]) and the
+//! structures carried across the edit are all indexed by obstacle or vertex
+//! id, so the delta build needs the id translations in both directions plus
+//! the edited geometries the conservative keep-tests run against.  This
+//! module derives the vertex-level maps from the rectangle-level ones (the
+//! vertex order `LL, LR, UR, UL` per obstacle is pinned by
+//! [`ObstacleSet::vertices`], so vertex `4p + c` of the old epoch is vertex
+//! `4q + c` of the new one whenever obstacle `p` survived as `q`) and holds
+//! the deferred [`DeltaBase`] a delta router consumes on its first oracle
+//! build.
+
+use crate::query::PathLengthOracle;
+use rsp_geom::{Rect, RectId};
+use std::sync::Arc;
+
+/// Derive vertex-index maps from obstacle-index maps: obstacle `p -> q`
+/// means vertex `4p + c -> 4q + c` for each corner `c` (the `LL, LR, UR, UL`
+/// order of [`ObstacleSet::vertices`]).
+pub(crate) fn vertex_maps(
+    old_to_new_rect: &[Option<RectId>],
+    new_to_old_rect: &[Option<RectId>],
+) -> (Vec<Option<usize>>, Vec<Option<usize>>) {
+    let expand = |rect_map: &[Option<RectId>]| -> Vec<Option<usize>> {
+        rect_map.iter().flat_map(|&m| (0..4).map(move |c| m.map(|q| 4 * q + c))).collect()
+    };
+    (expand(old_to_new_rect), expand(new_to_old_rect))
+}
+
+/// Everything a delta router defers until its first oracle build: the old
+/// epoch's oracle (kept alive only until the delta is consumed), the id
+/// translations across the compaction and the edited geometries.
+pub(crate) struct DeltaBase {
+    /// The base epoch's oracle; dropped once the delta build has run, so an
+    /// edited session does not pin its ancestor's structures forever.
+    pub oracle: Arc<PathLengthOracle>,
+    pub old_to_new_rect: Vec<Option<RectId>>,
+    pub old_to_new_vertex: Vec<Option<usize>>,
+    pub new_to_old_vertex: Vec<Option<usize>>,
+    /// Geometries of every inserted and removed rectangle.
+    pub edited: Vec<Rect>,
+}
+
+impl DeltaBase {
+    pub(crate) fn new(
+        oracle: Arc<PathLengthOracle>,
+        old_to_new_rect: Vec<Option<RectId>>,
+        new_to_old_rect: Vec<Option<RectId>>,
+        edited: Vec<Rect>,
+    ) -> Self {
+        let (old_to_new_vertex, new_to_old_vertex) = vertex_maps(&old_to_new_rect, &new_to_old_rect);
+        DeltaBase { oracle, old_to_new_rect, old_to_new_vertex, new_to_old_vertex, edited }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_geom::{ObstacleSet, Point, SceneDelta};
+
+    #[test]
+    fn vertex_maps_follow_the_rect_compaction() {
+        let set = ObstacleSet::new(vec![Rect::new(0, 0, 2, 2), Rect::new(4, 4, 6, 6), Rect::new(8, 8, 10, 10)]);
+        let applied = set.apply_delta(&SceneDelta { insert: vec![Rect::new(20, 0, 22, 2)], remove: vec![1] }).unwrap();
+        let (o2n, n2o) = vertex_maps(&applied.old_to_new, &applied.new_to_old);
+        assert_eq!(o2n.len(), 12);
+        assert_eq!(n2o.len(), 12);
+        let old_vertices = set.vertices();
+        let new_vertices = applied.obstacles.vertices();
+        for (ov, &m) in o2n.iter().enumerate() {
+            if let Some(nv) = m {
+                assert_eq!(old_vertices[ov], new_vertices[nv], "surviving vertex keeps its point");
+                assert_eq!(n2o[nv], Some(ov), "maps are mutually inverse on survivors");
+            }
+        }
+        // removed obstacle 1 -> its four vertices vanish
+        assert!(o2n[4..8].iter().all(Option::is_none));
+        // the inserted obstacle's vertices are new
+        assert!(n2o[8..12].iter().all(Option::is_none));
+        assert_eq!(new_vertices[8], Point::new(20, 0));
+    }
+}

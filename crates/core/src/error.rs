@@ -37,6 +37,10 @@ pub enum RspError {
     },
     /// `threads(p)` was asked for a thread pool that could not be built.
     ThreadPool(String),
+    /// A [`SceneDelta`](rsp_geom::SceneDelta) passed to
+    /// [`Router::apply_delta`](crate::router::Router::apply_delta) is
+    /// malformed (removal out of range or duplicated).
+    InvalidDelta(rsp_geom::DeltaError),
 }
 
 impl std::fmt::Display for RspError {
@@ -57,6 +61,7 @@ impl std::fmt::Display for RspError {
                 write!(f, "query point ({}, {}) lies strictly inside obstacle {}", point.x, point.y, obstacle)
             }
             RspError::ThreadPool(msg) => write!(f, "failed to build the thread pool: {msg}"),
+            RspError::InvalidDelta(e) => write!(f, "invalid scene delta: {e}"),
         }
     }
 }
@@ -66,6 +71,12 @@ impl std::error::Error for RspError {}
 impl From<DisjointnessViolation> for RspError {
     fn from(v: DisjointnessViolation) -> Self {
         RspError::OverlappingObstacles(v)
+    }
+}
+
+impl From<rsp_geom::DeltaError> for RspError {
+    fn from(e: rsp_geom::DeltaError) -> Self {
+        RspError::InvalidDelta(e)
     }
 }
 

@@ -38,6 +38,7 @@
 pub mod apsp;
 pub mod baseline;
 pub mod bigp;
+mod delta;
 pub mod dnc;
 pub mod error;
 pub mod instance;
@@ -55,8 +56,8 @@ pub use apsp::VertexApsp;
 pub use dnc::{build_boundary_matrix, BoundaryMatrix, DncOptions};
 pub use error::RspError;
 pub use instance::Instance;
-pub use query::PathLengthOracle;
+pub use query::{OracleReuse, PathLengthOracle};
 pub use router::{BuildCounts, Engine, Router, RouterBuilder};
 pub use separator::{find_separator, Separator};
 pub use sptree::ShortestPathTrees;
-pub use store::{DistanceStore, StoreKind, StoreStats};
+pub use store::{DistanceStore, RowCarry, StoreKind, StoreStats};

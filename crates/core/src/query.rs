@@ -160,6 +160,32 @@ fn kind_for_quadrant(q: usize) -> EscapeKind {
     }
 }
 
+/// Substructure reuse accounting of a [`PathLengthOracle::from_apsp_delta`]
+/// build.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleReuse {
+    /// Escape staircases copied from the base epoch (of `4 · 4n` total).
+    pub chains_reused: usize,
+    /// Escape staircases re-traced in the edited scene.
+    pub chains_rebuilt: usize,
+    /// Ray-shooting slab-column accounting across all five directional
+    /// indexes (four shoot directions plus the top-edge locator).
+    pub slab_columns: rsp_geom::SlabReuse,
+}
+
+/// Does the *closed* rectangle meet the chain polyline?  Segments of an
+/// escape chain are axis-parallel, so each test is an interval overlap.
+fn chain_touches_rect(chain: &Chain, r: &Rect) -> bool {
+    chain.points().windows(2).any(|w| {
+        let (a, b) = (w[0], w[1]);
+        if a.x == b.x {
+            r.xmin <= a.x && a.x <= r.xmax && a.y.min(b.y) <= r.ymax && r.ymin <= a.y.max(b.y)
+        } else {
+            r.ymin <= a.y && a.y <= r.ymax && a.x.min(b.x) <= r.xmax && r.xmin <= a.x.max(b.x)
+        }
+    })
+}
+
 /// Extend a clipped escape path back to an unbounded staircase by prolonging
 /// its final segment to a far sentinel.
 fn extend_to_far(chain: &Chain, primary: Dir) -> Chain {
@@ -250,6 +276,72 @@ impl PathLengthOracle {
             vertex_id.entry(p).or_insert(i);
         }
         PathLengthOracle { obstacles, apsp, vertex_id, index, chains }
+    }
+
+    /// Build for an *edited* scene, reusing from `old` (the base epoch's
+    /// oracle) every escape staircase and ray-shooting slab column the edit
+    /// provably cannot affect.  The result answers every query identically
+    /// to [`PathLengthOracle::from_apsp`] over the same `obstacles`/`apsp`.
+    ///
+    /// Chain reuse soundness: every shot, slide and exit segment of
+    /// [`escape_path`] lies *on* the resulting chain.  If no edited closed
+    /// rectangle touches the chain polyline, then (a) no removed rectangle
+    /// participated in the walk — a slide runs along the blocking obstacle's
+    /// boundary, which the chain touches; (b) no inserted rectangle can
+    /// intercept a shot earlier than its old hit — the interception point
+    /// would lie on both the segment (hence the chain) and the rectangle's
+    /// boundary.  So the walk replays identically in the new scene.  The
+    /// test additionally requires the obstacle bounding box to be unchanged
+    /// (the clip region derives from it) and the vertex to survive the
+    /// compaction; everything else is recomputed fresh.
+    pub fn from_apsp_delta(
+        obstacles: Arc<ObstacleSet>,
+        apsp: VertexApsp,
+        old: &PathLengthOracle,
+        old_to_new_rect: &[Option<usize>],
+        new_to_old_vertex: &[Option<usize>],
+        edited: &[Rect],
+    ) -> (Self, OracleReuse) {
+        use rayon::prelude::*;
+        let (index, slab_columns) = ObstacleIndex::build_delta(&obstacles, &old.index, edited, old_to_new_rect);
+        let bbox = obstacles.bbox().unwrap_or(Rect::new(0, 0, 1, 1)).expand(8);
+        let bbox_unchanged = old.obstacles.bbox().map(|b| b.expand(8)) == Some(bbox);
+        let region = StairRegion::from_rect(bbox);
+        let vertices = apsp.vertices().to_vec();
+        let shoot = index.shoot_index();
+        let build_chains = |quad: usize| -> (Vec<Chain>, usize) {
+            let kind = kind_for_quadrant(quad);
+            let built: Vec<(Chain, bool)> = (0..vertices.len())
+                .into_par_iter()
+                .map(|i| {
+                    if bbox_unchanged {
+                        if let Some(oi) = new_to_old_vertex[i] {
+                            let chain = &old.chains[quad][oi];
+                            debug_assert_eq!(old.apsp.vertices()[oi], vertices[i]);
+                            if !edited.iter().any(|r| chain_touches_rect(chain, r)) {
+                                return (chain.clone(), true);
+                            }
+                        }
+                    }
+                    (extend_to_far(&escape_path(&obstacles, shoot, &region, vertices[i], kind), kind.primary), false)
+                })
+                .collect();
+            let reused = built.iter().filter(|&&(_, r)| r).count();
+            (built.into_iter().map(|(c, _)| c).collect(), reused)
+        };
+        let (((ne, r0), (nw, r1)), ((se, r2), (sw, r3))) = rayon::join(
+            || rayon::join(|| build_chains(0), || build_chains(1)),
+            || rayon::join(|| build_chains(2), || build_chains(3)),
+        );
+        let chains = [ne, nw, se, sw];
+        let chains_reused = r0 + r1 + r2 + r3;
+        let chains_rebuilt = 4 * vertices.len() - chains_reused;
+        let mut vertex_id = HashMap::with_capacity(vertices.len());
+        for (i, &p) in vertices.iter().enumerate() {
+            vertex_id.entry(p).or_insert(i);
+        }
+        let oracle = PathLengthOracle { obstacles, apsp, vertex_id, index, chains };
+        (oracle, OracleReuse { chains_reused, chains_rebuilt, slab_columns })
     }
 
     /// Convenience constructor from an [`Instance`] (shares the instance's

@@ -37,20 +37,21 @@
 
 use crate::apsp::VertexApsp;
 use crate::baseline::dijkstra_sssp_matrix;
+use crate::delta::DeltaBase;
 use crate::dnc::{build_boundary_matrix, BoundaryMatrix, DncOptions};
 use crate::error::RspError;
 use crate::instance::Instance;
 use crate::query::PathLengthOracle;
 use crate::separator::{find_separator_unbounded, Separator};
 use crate::sptree::ShortestPathTrees;
-use crate::store::{dense_bytes_for, StoreKind, StoreStats};
+use crate::store::{dense_bytes_for, DistanceStore, RowCarry, StoreKind, StoreStats};
 use crate::trace::{escape_path, EscapeKind};
 use crate::tree::RecursionTree;
 use rayon::prelude::*;
 use rsp_geom::rayshoot::ShootIndex;
-use rsp_geom::{Chain, Coord, Dist, ObstacleSet, Point, RectiPath};
+use rsp_geom::{Chain, Coord, Dist, ObstacleSet, Point, RectiPath, SceneDelta};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// Which construction engine a [`Router`] uses for its substructures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,6 +86,20 @@ pub struct BuildCounts {
     /// oracle is built; the full matrix for [`StoreKind::Dense`], the
     /// cached rows for [`StoreKind::Implicit`]).
     pub store_resident_bytes: usize,
+    /// Distance rows carried verbatim from the base epoch by a delta build
+    /// (0 for from-scratch routers; see [`Router::apply_delta`]).
+    pub rows_reused: usize,
+    /// Distance rows a delta build had to drop or re-sweep (keep-test
+    /// failures plus fresh inserted-corner sweeps).
+    pub rows_rebuilt: usize,
+    /// Escape staircases copied from the base epoch by a delta build.
+    pub chains_reused: usize,
+    /// Escape staircases re-traced by a delta build.
+    pub chains_rebuilt: usize,
+    /// Ray-shooting slab columns copied from the base epoch by a delta build.
+    pub slab_columns_reused: usize,
+    /// Ray-shooting slab columns refilled by a delta build.
+    pub slab_columns_rebuilt: usize,
 }
 
 #[derive(Default)]
@@ -92,6 +107,12 @@ struct BuildCounters {
     oracle: AtomicUsize,
     trees: AtomicUsize,
     boundary: AtomicUsize,
+    rows_reused: AtomicUsize,
+    rows_rebuilt: AtomicUsize,
+    chains_reused: AtomicUsize,
+    chains_rebuilt: AtomicUsize,
+    slab_reused: AtomicUsize,
+    slab_rebuilt: AtomicUsize,
 }
 
 /// Configures and validates a [`Router`].  Created by [`Router::builder`].
@@ -179,6 +200,10 @@ impl RouterBuilder {
             store,
             pool,
             dnc,
+            threads: self.threads,
+            margin: self.margin,
+            epoch: 0,
+            delta: Mutex::new(None),
             oracle: OnceLock::new(),
             trees: OnceLock::new(),
             boundary: OnceLock::new(),
@@ -196,6 +221,15 @@ pub struct Router {
     store: StoreKind,
     pool: Option<rayon::ThreadPool>,
     dnc: DncOptions,
+    /// Builder configuration retained so [`Router::apply_delta`] can clone
+    /// the session setup into the next epoch.
+    threads: Option<usize>,
+    margin: Coord,
+    /// 0 for a from-scratch build; parent epoch + 1 for a delta build.
+    epoch: u64,
+    /// Deferred delta-build input, consumed (and dropped, releasing the base
+    /// epoch's oracle `Arc`) by the first oracle construction.
+    delta: Mutex<Option<DeltaBase>>,
     oracle: OnceLock<Arc<PathLengthOracle>>,
     trees: OnceLock<RwLock<ShortestPathTrees>>,
     boundary: OnceLock<Arc<BoundaryMatrix>>,
@@ -237,6 +271,70 @@ impl Router {
         self.engine
     }
 
+    /// The session epoch: 0 for a from-scratch build, incremented by each
+    /// [`Router::apply_delta`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Apply a scene edit, producing a **new** epoch-versioned session over
+    /// the edited obstacle set.  `self` is untouched: in-flight queries keep
+    /// their snapshot, and both sessions stay fully usable side by side.
+    ///
+    /// The new session inherits the resolved engine, store kind, margin and
+    /// thread pinning, and *reuses from this session's already-built oracle*
+    /// every substructure the delta provably cannot affect: unchanged
+    /// distance rows (dense and implicit), untouched escape staircases and
+    /// clean ray-shooting slab columns carry over verbatim; everything else
+    /// re-derives lazily.  Queries on the new session answer
+    /// bitwise-identically to a from-scratch build of the edited scene
+    /// (certified across engines, stores and thread counts in
+    /// `tests/edit.rs`); [`Router::build_counts`] exposes the
+    /// `*_reused`/`*_rebuilt` split once the new oracle is built.
+    ///
+    /// Validation is *incremental*: removals are range/duplicate-checked and
+    /// each inserted rectangle is checked against the whole edited scene
+    /// (`O(k · n)` instead of the builder's `O(n^2)` full scan).
+    pub fn apply_delta(&self, delta: &SceneDelta) -> Result<Router, RspError> {
+        let applied = self.instance.obstacles().apply_delta(delta)?;
+        applied.validate_disjoint_incremental()?;
+        let pool = match self.threads {
+            Some(p) => Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(p)
+                    .build()
+                    .map_err(|e| RspError::ThreadPool(e.to_string()))?,
+            ),
+            None => None,
+        };
+        // Only an already-built oracle is worth carrying; otherwise the new
+        // session builds from scratch lazily like any other.
+        let base = self.oracle.get().map(|oracle| {
+            DeltaBase::new(
+                Arc::clone(oracle),
+                applied.old_to_new.clone(),
+                applied.new_to_old.clone(),
+                applied.edited.clone(),
+            )
+        });
+        Ok(Router {
+            instance: Instance::with_margin(applied.obstacles, self.margin),
+            engine: self.engine,
+            store: self.store,
+            pool,
+            dnc: self.dnc.clone(),
+            threads: self.threads,
+            margin: self.margin,
+            epoch: self.epoch + 1,
+            delta: Mutex::new(base),
+            oracle: OnceLock::new(),
+            trees: OnceLock::new(),
+            boundary: OnceLock::new(),
+            shoot_index: OnceLock::new(),
+            counts: BuildCounters::default(),
+        })
+    }
+
     /// The distance store this router resolved to ([`StoreKind::Auto`] is
     /// resolved by scene size at build time and never stored).
     pub fn store_kind(&self) -> StoreKind {
@@ -263,6 +361,12 @@ impl Router {
             tree_builds: self.counts.trees.load(Ordering::Relaxed),
             boundary_builds: self.counts.boundary.load(Ordering::Relaxed),
             store_resident_bytes: self.oracle.get().map_or(0, |o| o.apsp().store_stats().resident_bytes),
+            rows_reused: self.counts.rows_reused.load(Ordering::Relaxed),
+            rows_rebuilt: self.counts.rows_rebuilt.load(Ordering::Relaxed),
+            chains_reused: self.counts.chains_reused.load(Ordering::Relaxed),
+            chains_rebuilt: self.counts.chains_rebuilt.load(Ordering::Relaxed),
+            slab_columns_reused: self.counts.slab_reused.load(Ordering::Relaxed),
+            slab_columns_rebuilt: self.counts.slab_rebuilt.load(Ordering::Relaxed),
         }
     }
 
@@ -286,27 +390,89 @@ impl Router {
     fn oracle_handle(&self) -> &Arc<PathLengthOracle> {
         self.oracle.get_or_init(|| {
             self.counts.oracle.fetch_add(1, Ordering::Relaxed);
+            // Consume (and thereby release) the deferred delta input; a
+            // panic-free fresh build remains available if there is none.
+            let base = self.delta.lock().unwrap_or_else(|p| p.into_inner()).take();
             let obstacles = self.instance.obstacles();
-            let oracle = self.in_pool(|| {
-                let apsp = match (self.store, self.engine) {
-                    // Implicit store: rows come lazily from the engine's own
-                    // row generator — no full matrix is ever materialised.
-                    (StoreKind::Implicit { budget_bytes }, Engine::HananBaseline) => {
-                        VertexApsp::build_implicit_hanan(obstacles, budget_bytes)
-                    }
-                    (StoreKind::Implicit { budget_bytes }, _) => VertexApsp::build_implicit(obstacles, budget_bytes),
-                    // Dense store: the eager builders (Auto was resolved to a
-                    // concrete store kind at build time).
-                    (_, Engine::Sequential) => VertexApsp::build_sequential(obstacles),
-                    (_, Engine::HananBaseline) => {
-                        VertexApsp::from_matrix(obstacles.vertices(), dijkstra_sssp_matrix(obstacles))
-                    }
-                    (_, Engine::Auto | Engine::DivideAndConquer) => VertexApsp::build(obstacles),
-                };
-                PathLengthOracle::from_apsp(self.instance.obstacles_arc(), apsp)
+            let oracle = self.in_pool(|| match base {
+                Some(base) => self.build_oracle_delta(obstacles, base),
+                None => PathLengthOracle::from_apsp(self.instance.obstacles_arc(), self.build_apsp_fresh(obstacles)),
             });
             Arc::new(oracle)
         })
+    }
+
+    /// The from-scratch all-pairs build for this router's engine × store
+    /// combination.
+    fn build_apsp_fresh(&self, obstacles: &ObstacleSet) -> VertexApsp {
+        match (self.store, self.engine) {
+            // Implicit store: rows come lazily from the engine's own
+            // row generator — no full matrix is ever materialised.
+            (StoreKind::Implicit { budget_bytes }, Engine::HananBaseline) => {
+                VertexApsp::build_implicit_hanan(obstacles, budget_bytes)
+            }
+            (StoreKind::Implicit { budget_bytes }, _) => VertexApsp::build_implicit(obstacles, budget_bytes),
+            // Dense store: the eager builders (Auto was resolved to a
+            // concrete store kind at build time).
+            (_, Engine::Sequential) => VertexApsp::build_sequential(obstacles),
+            (_, Engine::HananBaseline) => {
+                VertexApsp::from_matrix(obstacles.vertices(), dijkstra_sssp_matrix(obstacles))
+            }
+            (_, Engine::Auto | Engine::DivideAndConquer) => VertexApsp::build(obstacles),
+        }
+    }
+
+    /// Build this epoch's oracle out of the base epoch's, carrying every
+    /// distance row, escape staircase and slab column the edit provably
+    /// cannot affect and re-deriving the rest.  The result is
+    /// bitwise-identical to a fresh build because every carried artifact is
+    /// *canonical*: rows hold true shortest-path lengths and chains/slabs are
+    /// pure functions of the surviving geometry.
+    fn build_oracle_delta(&self, obstacles: &ObstacleSet, base: DeltaBase) -> PathLengthOracle {
+        let hanan = matches!(self.engine, Engine::HananBaseline);
+        let old_store = base.oracle.apsp().store();
+        let (apsp, carry) = match self.store {
+            StoreKind::Implicit { budget_bytes } => match old_store.as_implicit() {
+                Some(old) => {
+                    let (store, carry) = DistanceStore::implicit_delta(
+                        obstacles,
+                        budget_bytes,
+                        hanan,
+                        old,
+                        &base.old_to_new_vertex,
+                        &base.new_to_old_vertex,
+                        &base.edited,
+                    );
+                    (VertexApsp::from_store(obstacles.vertices(), store), carry)
+                }
+                // Store-kind mismatch with the base session (can only happen
+                // through future re-configuration): nothing to carry.
+                None => (self.build_apsp_fresh(obstacles), RowCarry::default()),
+            },
+            StoreKind::Dense | StoreKind::Auto => match old_store.as_dense() {
+                Some(old) => {
+                    let (store, carry) =
+                        DistanceStore::dense_delta(obstacles, hanan, old, &base.new_to_old_vertex, &base.edited);
+                    (VertexApsp::from_store(obstacles.vertices(), store), carry)
+                }
+                None => (self.build_apsp_fresh(obstacles), RowCarry::default()),
+            },
+        };
+        self.counts.rows_reused.fetch_add(carry.rows_carried, Ordering::Relaxed);
+        self.counts.rows_rebuilt.fetch_add(carry.rows_dropped + carry.corner_sweeps, Ordering::Relaxed);
+        let (oracle, reuse) = PathLengthOracle::from_apsp_delta(
+            self.instance.obstacles_arc(),
+            apsp,
+            &base.oracle,
+            &base.old_to_new_rect,
+            &base.new_to_old_vertex,
+            &base.edited,
+        );
+        self.counts.chains_reused.fetch_add(reuse.chains_reused, Ordering::Relaxed);
+        self.counts.chains_rebuilt.fetch_add(reuse.chains_rebuilt, Ordering::Relaxed);
+        self.counts.slab_reused.fetch_add(reuse.slab_columns.reused, Ordering::Relaxed);
+        self.counts.slab_rebuilt.fetch_add(reuse.slab_columns.rebuilt, Ordering::Relaxed);
+        oracle
     }
 
     fn trees_handle(&self) -> &RwLock<ShortestPathTrees> {
@@ -814,5 +980,111 @@ mod tests {
         assert!(!router.recursion_tree().is_empty());
         let far = Point::new(10_000, 10_000);
         assert_eq!(router.escape(far, EscapeKind::NE), Err(RspError::PointOutsideContainer(far)));
+    }
+
+    /// Assert that `edited` (built via [`Router::apply_delta`]) answers every
+    /// vertex-vertex distance and path bitwise-identically to `fresh` (built
+    /// from scratch on the same obstacle set).
+    fn assert_session_equivalent(edited: &Router, fresh: &Router) {
+        let verts = fresh.instance().obstacles().vertices();
+        assert_eq!(edited.instance().obstacles().vertices(), verts);
+        for (i, &u) in verts.iter().enumerate() {
+            for &v in verts.iter().skip(i) {
+                let de = edited.vertex_distance(u, v).unwrap();
+                let df = fresh.vertex_distance(u, v).unwrap();
+                assert_eq!(de, df, "distance mismatch {u:?} -> {v:?}");
+                if de < INF {
+                    let pe = edited.path(u, v).unwrap();
+                    let pf = fresh.path(u, v).unwrap();
+                    assert_eq!(pe.points(), pf.points(), "path mismatch {u:?} -> {v:?}");
+                }
+            }
+        }
+    }
+
+    /// An L-shaped scene: obstacle strips along the bottom and left edges of
+    /// the bounding box, leaving the upper-right quadrant empty.  An edit
+    /// placed there keeps the bbox fixed (chains can carry) while staying
+    /// outside the spanning rectangle of many vertex pairs (rows can carry).
+    fn l_shaped_scene() -> ObstacleSet {
+        let mut rects: Vec<Rect> = (0..10).map(|i| Rect::new(10 * i, 0, 10 * i + 4, 4)).collect();
+        rects.extend((1..10).map(|j| Rect::new(0, 10 * j, 4, 10 * j + 4)));
+        ObstacleSet::new(rects)
+    }
+
+    #[test]
+    fn apply_delta_matches_a_fresh_build_bitwise() {
+        let base = l_shaped_scene();
+        let delta = SceneDelta { insert: vec![Rect::new(70, 70, 74, 74)], remove: vec![] };
+        let edited_set = base.apply_delta(&delta).unwrap().obstacles;
+        for store in [StoreKind::Dense, StoreKind::Implicit { budget_bytes: 1 << 20 }] {
+            let parent = Router::builder(base.clone()).store(store).build().unwrap();
+            // Warm the parent so there is an oracle to carry from.
+            let verts = base.vertices();
+            let _ = parent.vertex_distance(verts[0], verts[5]).unwrap();
+            let child = parent.apply_delta(&delta).unwrap();
+            assert_eq!(child.epoch(), 1);
+            assert_eq!(parent.epoch(), 0);
+            // The parent session stays fully usable after the edit.
+            let _ = parent.vertex_distance(verts[0], verts[9]).unwrap();
+            let fresh = Router::builder(edited_set.clone()).store(store).build().unwrap();
+            assert_session_equivalent(&child, &fresh);
+            let counts = child.build_counts();
+            assert!(counts.rows_reused > 0, "delta build carried no rows: {counts:?}");
+            assert!(counts.chains_reused > 0, "delta build carried no chains: {counts:?}");
+            // A grandchild edit reuses from the child in turn.
+            let back = SceneDelta { insert: vec![], remove: vec![edited_set.len() - 1] };
+            let grandchild = child.apply_delta(&back).unwrap();
+            assert_eq!(grandchild.epoch(), 2);
+            let gc_set = edited_set.apply_delta(&back).unwrap().obstacles;
+            let gc_fresh = Router::builder(gc_set).store(store).build().unwrap();
+            assert_session_equivalent(&grandchild, &gc_fresh);
+        }
+    }
+
+    #[test]
+    fn apply_delta_on_a_cold_router_builds_fresh() {
+        let base = sample();
+        let parent = Router::new(base.clone()).unwrap();
+        // No query ran: nothing to carry, the child builds from scratch.
+        let delta = SceneDelta { insert: vec![Rect::new(20, 20, 24, 24)], remove: vec![1] };
+        let child = parent.apply_delta(&delta).unwrap();
+        let fresh = Router::new(base.apply_delta(&delta).unwrap().obstacles).unwrap();
+        assert_session_equivalent(&child, &fresh);
+        let counts = child.build_counts();
+        assert_eq!((counts.rows_reused, counts.chains_reused), (0, 0));
+    }
+
+    #[test]
+    fn apply_delta_rejects_bad_input() {
+        let parent = Router::new(sample()).unwrap();
+        // Out-of-range removal.
+        let bad = SceneDelta { insert: vec![], remove: vec![99] };
+        assert!(matches!(parent.apply_delta(&bad), Err(RspError::InvalidDelta(_))));
+        // Inserted rectangle overlapping a survivor.
+        let overlap = SceneDelta { insert: vec![Rect::new(3, 3, 5, 5)], remove: vec![] };
+        assert!(matches!(parent.apply_delta(&overlap), Err(RspError::OverlappingObstacles(_))));
+        // Removing the overlapping obstacle makes the same insert legal.
+        let fixed = SceneDelta { insert: vec![Rect::new(3, 3, 5, 5)], remove: vec![0] };
+        assert!(parent.apply_delta(&fixed).is_ok());
+    }
+
+    #[test]
+    fn delta_sessions_report_engine_specific_reuse() {
+        // Each engine carries artifacts across an edit and stays bitwise
+        // faithful; HananBaseline rows live on the grid's canonical metric so
+        // they carry too.
+        let base = uniform_disjoint(12, 5).obstacles;
+        let delta = SceneDelta { insert: vec![Rect::new(400, 400, 404, 404)], remove: vec![] };
+        let edited_set = base.apply_delta(&delta).unwrap().obstacles;
+        for engine in [Engine::Sequential, Engine::DivideAndConquer, Engine::HananBaseline] {
+            let parent = Router::builder(base.clone()).engine(engine).build().unwrap();
+            let verts = base.vertices();
+            let _ = parent.vertex_distance(verts[0], verts[7]).unwrap();
+            let child = parent.apply_delta(&delta).unwrap();
+            let fresh = Router::builder(edited_set.clone()).engine(engine).build().unwrap();
+            assert_session_equivalent(&child, &fresh);
+            assert!(child.build_counts().rows_reused > 0, "{engine:?} carried no rows");
+        }
     }
 }

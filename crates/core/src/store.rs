@@ -31,7 +31,7 @@ use rsp_geom::hanan::HananGrid;
 use rsp_geom::{Dist, ObstacleSet, Point};
 use rsp_monge::{BlockCache, MinPlusMatrix};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 const ENTRY_BYTES: usize = std::mem::size_of::<Dist>();
 
@@ -134,16 +134,59 @@ impl RowProvider {
     }
 }
 
+/// A [`RowProvider`] whose skeleton (the four case-transformed ray-shooting
+/// views, or the Hanan grid) is built on the first *sweep*, not at store
+/// construction.
+///
+/// The skeleton only matters on a row miss, and its build is the dominant
+/// fixed cost of an implicit store at large `n`.  Deferring it keeps a fresh
+/// store's construction O(1), and — the case it exists for — lets a
+/// delta-carried store ([`DistanceStore::implicit_delta`]) whose first batch
+/// is answered entirely from carried rows skip the skeleton build outright,
+/// which is what makes edit→first-query genuinely sublinear.  Values are
+/// unaffected: whenever a sweep does run, it runs the same routine on the
+/// same scene.
+struct LazyProvider {
+    obstacles: Arc<ObstacleSet>,
+    hanan: bool,
+    cell: OnceLock<RowProvider>,
+}
+
+impl LazyProvider {
+    fn deferred(obstacles: Arc<ObstacleSet>, hanan: bool) -> Self {
+        LazyProvider { obstacles, hanan, cell: OnceLock::new() }
+    }
+
+    /// The built provider.  Callers that fan sweeps out over rayon force
+    /// this *before* going parallel, so the one-time build never runs under
+    /// a worker that peers would have to block on.
+    fn force(&self) -> &RowProvider {
+        self.cell.get_or_init(|| {
+            if self.hanan {
+                let vertices = self.obstacles.vertices();
+                let grid = HananGrid::build(&self.obstacles, &vertices);
+                RowProvider::Hanan { grid, vertices }
+            } else {
+                RowProvider::Sweep(SingleSourceEngine::new(&self.obstacles))
+            }
+        })
+    }
+
+    fn row(&self, i: usize) -> Vec<Dist> {
+        self.force().row(i)
+    }
+}
+
 /// The implicit backend: a row generator plus a byte-budgeted LRU of
 /// materialised rows.
 pub struct ImplicitStore {
-    provider: RowProvider,
+    provider: LazyProvider,
     dim: usize,
     cache: Mutex<BlockCache>,
 }
 
 impl ImplicitStore {
-    fn new(provider: RowProvider, dim: usize, budget_bytes: usize) -> Self {
+    fn new(provider: LazyProvider, dim: usize, budget_bytes: usize) -> Self {
         ImplicitStore { provider, dim, cache: Mutex::new(BlockCache::new(budget_bytes)) }
     }
 
@@ -224,8 +267,15 @@ impl ImplicitStore {
                 .collect()
         };
         // Sweeps run unlocked and in parallel: they dominate cold-batch cost
-        // and must not serialise behind (or block) concurrent readers.
-        let built: Vec<(usize, Vec<Dist>)> = missing.par_iter().map(|&i| (i, self.provider.row(i))).collect();
+        // and must not serialise behind (or block) concurrent readers.  The
+        // provider is forced up front so the skeleton build happens once,
+        // outside the fan-out.
+        let built: Vec<(usize, Vec<Dist>)> = if missing.is_empty() {
+            Vec::new()
+        } else {
+            let provider = self.provider.force();
+            missing.par_iter().map(|&i| (i, provider.row(i))).collect()
+        };
         let mut cache = self.cache.lock().expect("distance row cache poisoned");
         let budget = cache.stats().budget_bytes;
         for (i, row) in built {
@@ -299,6 +349,19 @@ impl Drop for PinnedRows<'_> {
     }
 }
 
+/// Accounting of a delta-carried implicit store build
+/// ([`DistanceStore::implicit_delta`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RowCarry {
+    /// Resident rows carried over from the previous epoch's cache (keep-test
+    /// passed; entries bitwise-identical to a fresh sweep).
+    pub rows_carried: usize,
+    /// Resident rows the keep-test invalidated (re-swept lazily on demand).
+    pub rows_dropped: usize,
+    /// Fresh sweeps run for inserted-corner sources during the carry.
+    pub corner_sweeps: usize,
+}
+
 /// Pluggable distance storage for the `V_R`-to-`V_R` length structure.
 ///
 /// The dense arm keeps the lock-free, allocation-free `O(1)` read the
@@ -322,18 +385,197 @@ impl DistanceStore {
     /// An implicit store over the Section 9 single-source engine — the
     /// backend behind every non-baseline engine.
     pub fn implicit_sweep(obstacles: &ObstacleSet, budget_bytes: usize) -> Self {
-        let engine = SingleSourceEngine::new(obstacles);
-        let dim = engine.vertices().len();
-        DistanceStore::Implicit(Box::new(ImplicitStore::new(RowProvider::Sweep(engine), dim, budget_bytes)))
+        let dim = obstacles.vertices().len();
+        let provider = LazyProvider::deferred(Arc::new(obstacles.clone()), false);
+        DistanceStore::Implicit(Box::new(ImplicitStore::new(provider, dim, budget_bytes)))
     }
 
     /// An implicit store over the Hanan-grid Dijkstra — the backend behind
     /// the baseline-comparator engine.
     pub fn implicit_hanan(obstacles: &ObstacleSet, budget_bytes: usize) -> Self {
+        let dim = obstacles.vertices().len();
+        let provider = LazyProvider::deferred(Arc::new(obstacles.clone()), true);
+        DistanceStore::Implicit(Box::new(ImplicitStore::new(provider, dim, budget_bytes)))
+    }
+
+    /// An implicit store for an *edited* scene that carries over every
+    /// resident row of the previous epoch's store that the edit provably
+    /// cannot change.
+    ///
+    /// Soundness of the keep-test: engine rows hold *true* shortest-path
+    /// distances, so for an inserted or removed rectangle `R` the distance
+    /// `d(u, v)` can only change if some optimal (or newly optimal) path
+    /// passes through `int(R)` — and any path through `int(R)` has length
+    /// `> l1(u, R) + l1(v, R)` (the nearest points of a closed rectangle to
+    /// a non-interior point lie on its boundary).  Hence
+    /// `l1(u, R) + l1(v, R) >= d_old(u, v)` certifies `d_new == d_old`; the
+    /// test composes over multi-rectangle deltas by induction, and `INF`
+    /// entries conservatively fail it.  Columns of inserted vertices are
+    /// filled exactly from fresh corner-source sweeps via metric symmetry
+    /// (`row_u[j_new] = row_{j_new}[u]`).  A row failing the test for *any*
+    /// surviving column is dropped whole ([`BlockCache::invalidate_if`]) and
+    /// re-swept lazily if requested again.
+    ///
+    /// `old_to_new` / `new_to_old` map **vertex** indices across the id
+    /// compaction (`None` = removed / inserted); `edited` holds the
+    /// geometries of all inserted and removed rectangles.  A provider-kind
+    /// mismatch (sweep vs Hanan) carries nothing.
+    pub fn implicit_delta(
+        obstacles: &ObstacleSet,
+        budget_bytes: usize,
+        hanan: bool,
+        old: &ImplicitStore,
+        old_to_new: &[Option<usize>],
+        new_to_old: &[Option<usize>],
+        edited: &[rsp_geom::Rect],
+    ) -> (Self, RowCarry) {
+        use rayon::prelude::*;
         let vertices = obstacles.vertices();
-        let grid = HananGrid::build(obstacles, &vertices);
         let dim = vertices.len();
-        DistanceStore::Implicit(Box::new(ImplicitStore::new(RowProvider::Hanan { grid, vertices }, dim, budget_bytes)))
+        // Deferred on purpose: for an edit whose keep-test carries the whole
+        // resident set (and that inserts nothing), the skeleton build never
+        // runs at all — the child store is ready in O(carried rows).
+        let provider = LazyProvider::deferred(Arc::new(obstacles.clone()), hanan);
+        let store = ImplicitStore::new(provider, dim, budget_bytes);
+        let kinds_match = hanan == old.provider.hanan;
+        // Candidate rows: resident in the old cache with a surviving source.
+        let mut candidates: Vec<(usize, Arc<[Dist]>)> = if kinds_match {
+            let old_cache = old.cache.lock().expect("distance row cache poisoned");
+            old_cache
+                .snapshot()
+                .into_iter()
+                .filter_map(|(k, row)| {
+                    let new_i = (*old_to_new.get(k as usize)?)?;
+                    Some((new_i, row))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if candidates.is_empty() || dim == 0 {
+            return (DistanceStore::Implicit(Box::new(store)), RowCarry::default());
+        }
+        candidates.sort_by_key(|&(new_i, _)| new_i);
+        // Exact rows for the inserted corners, swept in the new scene; they
+        // both seed the cache and fill the inserted columns of carried rows.
+        let inserted: Vec<usize> = (0..dim).filter(|&j| new_to_old[j].is_none()).collect();
+        let corner_rows: Vec<(usize, Vec<Dist>)> = if inserted.is_empty() {
+            Vec::new()
+        } else {
+            let provider = store.provider.force();
+            inserted.par_iter().map(|&j| (j, provider.row(j))).collect()
+        };
+        let corner_of: HashMap<usize, &[Dist]> = corner_rows.iter().map(|&(j, ref r)| (j, &r[..])).collect();
+        let remapped: Vec<(usize, Vec<Dist>)> = candidates
+            .par_iter()
+            .map(|&(new_i, ref old_row)| {
+                let row = (0..dim)
+                    .map(|j| match new_to_old[j] {
+                        Some(old_j) => old_row[old_j],
+                        None => corner_of[&j][new_i],
+                    })
+                    .collect();
+                (new_i, row)
+            })
+            .collect();
+        // Per-edited-rect vertex gaps, shared by every row's keep-test.
+        let gaps: Vec<Vec<Dist>> =
+            edited.iter().map(|r| vertices.iter().map(|&v| r.l1_distance_to(v)).collect()).collect();
+        let carried: std::collections::HashSet<u64> = remapped.iter().map(|&(i, _)| i as u64).collect();
+        let candidate_count = carried.len();
+        let mut cache = store.cache.lock().expect("distance row cache poisoned");
+        for (i, row) in remapped {
+            cache.seed(i as u64, row.into());
+        }
+        let corner_sweeps = corner_rows.len();
+        for (j, row) in corner_rows {
+            cache.seed(j as u64, row.into());
+        }
+        cache.invalidate_if(|k, row| {
+            if !carried.contains(&k) {
+                return true; // fresh corner rows are exact by construction
+            }
+            let u = k as usize;
+            gaps.iter().all(|gap| {
+                let through_edit = gap[u];
+                (0..dim).all(|j| new_to_old[j].is_none() || through_edit.saturating_add(gap[j]) >= row[j])
+            })
+        });
+        // Count what actually stayed resident, so budget evictions during
+        // seeding are charged as drops too, not claimed as reuse.
+        let rows_carried = cache.snapshot().iter().filter(|(k, _)| carried.contains(k)).count();
+        drop(cache);
+        let carry = RowCarry { rows_carried, rows_dropped: candidate_count - rows_carried, corner_sweeps };
+        (DistanceStore::Implicit(Box::new(store)), carry)
+    }
+
+    /// A dense store for an *edited* scene that carries every row of the
+    /// previous epoch's matrix the edit provably cannot change and re-sweeps
+    /// only the rest (inserted-corner sources plus keep-test failures).
+    /// Same keep-test and column-fill scheme as
+    /// [`DistanceStore::implicit_delta`]; the result is bitwise-identical to
+    /// an eager fresh build.
+    pub fn dense_delta(
+        obstacles: &ObstacleSet,
+        hanan: bool,
+        old: &MinPlusMatrix,
+        new_to_old: &[Option<usize>],
+        edited: &[rsp_geom::Rect],
+    ) -> (Self, RowCarry) {
+        use rayon::prelude::*;
+        let vertices = obstacles.vertices();
+        let dim = vertices.len();
+        // Deferred like the implicit arm's: a full-carry edit needs no sweeps
+        // and therefore never builds the skeleton.
+        let provider = LazyProvider::deferred(Arc::new(obstacles.clone()), hanan);
+        let gaps: Vec<Vec<Dist>> =
+            edited.iter().map(|r| vertices.iter().map(|&v| r.l1_distance_to(v)).collect()).collect();
+        // Decide per row: carry (survivor passing the keep-test on every
+        // surviving column) or sweep.
+        let keeps: Vec<Option<usize>> = (0..dim)
+            .into_par_iter()
+            .map(|i| {
+                let old_i = new_to_old[i]?;
+                let old_row = old.row(old_i);
+                gaps.iter()
+                    .all(|gap| {
+                        let through_edit = gap[i];
+                        (0..dim).all(|j| match new_to_old[j] {
+                            Some(old_j) => through_edit.saturating_add(gap[j]) >= old_row[old_j],
+                            None => true,
+                        })
+                    })
+                    .then_some(old_i)
+            })
+            .collect();
+        let sweep_list: Vec<usize> = (0..dim).filter(|&i| keeps[i].is_none()).collect();
+        let swept: HashMap<usize, Vec<Dist>> = if sweep_list.is_empty() {
+            HashMap::new()
+        } else {
+            let provider = provider.force();
+            sweep_list.par_iter().map(|&i| (i, provider.row(i))).collect()
+        };
+        let rows: Vec<Vec<Dist>> = (0..dim)
+            .into_par_iter()
+            .map(|i| match keeps[i] {
+                Some(old_i) => {
+                    let old_row = old.row(old_i);
+                    (0..dim)
+                        .map(|j| match new_to_old[j] {
+                            Some(old_j) => old_row[old_j],
+                            // Inserted column: exact by symmetry from the
+                            // freshly swept inserted-corner row.
+                            None => swept[&j][i],
+                        })
+                        .collect()
+                }
+                None => swept[&i].clone(),
+            })
+            .collect();
+        let rows_carried = keeps.iter().filter(|k| k.is_some()).count();
+        let corner_sweeps = (0..dim).filter(|&i| new_to_old[i].is_none()).count();
+        let carry = RowCarry { rows_carried, rows_dropped: dim - rows_carried - corner_sweeps, corner_sweeps };
+        (DistanceStore::dense(MinPlusMatrix::from_rows(rows)), carry)
     }
 
     /// Entry `(i, j)`: one array read for the dense arm, a cache probe (and

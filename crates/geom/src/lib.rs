@@ -47,6 +47,7 @@ pub use chain::{Chain, Side};
 pub use locate::ObstacleIndex;
 pub use path::RectiPath;
 pub use point::{Coord, Dir, Dist, Point, INF};
-pub use rect::{DisjointnessViolation, ObstacleSet, Rect, RectId};
+pub use rayshoot::SlabReuse;
+pub use rect::{AppliedDelta, DeltaError, DisjointnessViolation, ObstacleSet, Rect, RectId, SceneDelta};
 pub use region::StairRegion;
 pub use staircase::Quadrant;

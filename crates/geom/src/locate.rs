@@ -19,7 +19,7 @@
 //! nothing.
 
 use crate::point::{Coord, Dir, Point};
-use crate::rayshoot::{DirIndex, Hit, ShootIndex};
+use crate::rayshoot::{DirIndex, Hit, ShootIndex, SlabReuse};
 use crate::rect::{ObstacleSet, RectId};
 
 /// Point-containment and segment-clearance index over an [`ObstacleSet`]:
@@ -50,6 +50,28 @@ impl ObstacleIndex {
             tops: DirIndex::build(&top_edges, true),
             ymins: obstacles.iter().map(|r| r.ymin).collect(),
         }
+    }
+
+    /// Rebuild the index for an edited scene, copying every ray-shooting and
+    /// top-edge slab column the edit provably cannot affect from `old` (see
+    /// [`ShootIndex::build_delta`]).  `edited` holds the geometries of all
+    /// inserted and removed rectangles, `old_to_new` the id compaction map.
+    /// The result is identical to [`ObstacleIndex::build`] on `obstacles`;
+    /// the returned [`SlabReuse`] aggregates all five directional indexes.
+    pub fn build_delta(
+        obstacles: &ObstacleSet,
+        old: &ObstacleIndex,
+        edited: &[crate::rect::Rect],
+        old_to_new: &[Option<RectId>],
+    ) -> (Self, SlabReuse) {
+        let top_edges: Vec<(Coord, Coord, Coord, RectId)> =
+            obstacles.iter().enumerate().map(|(id, r)| (r.xmin, r.xmax, r.ymax, id)).collect();
+        let dirty_x: Vec<(Coord, Coord)> = edited.iter().map(|r| (r.xmin, r.xmax)).collect();
+        let (shoot, mut reuse) = ShootIndex::build_delta(obstacles, &old.shoot, edited, old_to_new);
+        let (tops, tops_reuse) = DirIndex::build_delta(&top_edges, true, &old.tops, old_to_new, &dirty_x);
+        reuse.merge(tops_reuse);
+        let index = ObstacleIndex { shoot, tops, ymins: obstacles.iter().map(|r| r.ymin).collect() };
+        (index, reuse)
     }
 
     /// Number of indexed obstacles.
@@ -177,5 +199,26 @@ mod tests {
         assert!(idx.is_empty());
         assert_eq!(idx.containing_obstacle(pt(0, 0)), None);
         assert!(idx.segment_clear(pt(0, 0), pt(100, 0)));
+    }
+
+    #[test]
+    fn delta_build_answers_like_a_fresh_build() {
+        use crate::rect::SceneDelta;
+        let obs = obstacles();
+        let old = ObstacleIndex::build(&obs);
+        let delta = SceneDelta { insert: vec![Rect::new(20, 20, 24, 23)], remove: vec![2] };
+        let applied = obs.apply_delta(&delta).unwrap();
+        let (idx, reuse) = ObstacleIndex::build_delta(&applied.obstacles, &old, &applied.edited, &applied.old_to_new);
+        let fresh = ObstacleIndex::build(&applied.obstacles);
+        assert!(reuse.reused > 0, "a far-away edit must reuse some slab columns: {reuse:?}");
+        for x in -6..27 {
+            for y in -6..26 {
+                let p = pt(x, y);
+                assert_eq!(idx.containing_obstacle(p), fresh.containing_obstacle(p), "at {p:?}");
+                for dir in Dir::ALL {
+                    assert_eq!(idx.shoot(p, dir), fresh.shoot(p, dir), "at {p:?} {dir:?}");
+                }
+            }
+        }
     }
 }

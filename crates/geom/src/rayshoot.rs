@@ -12,7 +12,7 @@
 //! structure — same role, logarithmic query time).
 
 use crate::point::{Coord, Dir, Point};
-use crate::rect::{ObstacleSet, RectId};
+use crate::rect::{ObstacleSet, Rect, RectId};
 
 /// Result of a ray-shooting query.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -93,51 +93,91 @@ pub(crate) struct DirIndex {
     forward: bool,
 }
 
+/// Everything of a [`DirIndex`] except the slabs: the coordinate
+/// compression, the segment tree and the edge/position incidence count.
+/// Shared verbatim by the fresh and the delta builds, so the two can only
+/// differ in how they *fill* the slab arena — never in its shape.
+struct DirSkeleton {
+    coords: Vec<Coord>,
+    size: usize,
+    nodes: Vec<Vec<(Coord, RectId)>>,
+    positions: usize,
+    incidence: usize,
+    /// Whether the incidence budget admits the slab fast path.
+    slabs_on: bool,
+}
+
+fn dir_skeleton(edges: &[(Coord, Coord, Coord, RectId)]) -> DirSkeleton {
+    // edges: (perp_lo, perp_hi, along, rect): open interval (perp_lo, perp_hi)
+    let mut coords: Vec<Coord> = edges.iter().flat_map(|e| [e.0, e.1]).collect();
+    coords.sort_unstable();
+    coords.dedup();
+    let positions = if coords.is_empty() { 1 } else { 2 * coords.len() - 1 };
+    let mut size = 1usize;
+    while size < positions {
+        size *= 2;
+    }
+    let mut nodes: Vec<Vec<(Coord, RectId)>> = vec![Vec::new(); 2 * size];
+    let pos_of = |c: Coord| -> usize { coords.binary_search(&c).unwrap() * 2 };
+    let mut incidence = 0usize;
+    for &(lo, hi, along, rect) in edges {
+        if lo >= hi {
+            continue;
+        }
+        incidence += pos_of(hi) - pos_of(lo) - 1;
+        // open interval (lo, hi) covers positions pos(lo)+1 ..= pos(hi)-1
+        let (mut l, mut r) = (pos_of(lo) + 1 + size, pos_of(hi) - 1 + size + 1);
+        while l < r {
+            if l & 1 == 1 {
+                nodes[l].push((along, rect));
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                nodes[r].push((along, rect));
+            }
+            l /= 2;
+            r /= 2;
+        }
+    }
+    for node in nodes.iter_mut() {
+        node.sort_unstable();
+    }
+    // The slab fast path is gated on an O(n log n) incidence budget so the
+    // structure never degenerates to quadratic space.
+    let m = edges.len().max(2);
+    let budget = 4 * m * (usize::BITS - m.leading_zeros()) as usize;
+    DirSkeleton { coords, size, nodes, positions, incidence, slabs_on: incidence <= budget }
+}
+
+/// Slab-column accounting of a [`DirIndex::build_delta`] rebuild: how many
+/// positions copied their sorted slab from the previous epoch's index versus
+/// how many were refilled from the edge list.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlabReuse {
+    /// Slab columns copied (id-remapped) from the old index.
+    pub reused: usize,
+    /// Slab columns refilled and re-sorted from scratch.
+    pub rebuilt: usize,
+}
+
+impl SlabReuse {
+    /// Accumulate another direction's counts.
+    pub fn merge(&mut self, other: SlabReuse) {
+        self.reused += other.reused;
+        self.rebuilt += other.rebuilt;
+    }
+}
+
 impl DirIndex {
     pub(crate) fn build(edges: &[(Coord, Coord, Coord, RectId)], forward: bool) -> Self {
-        // edges: (perp_lo, perp_hi, along, rect): open interval (perp_lo, perp_hi)
-        let mut coords: Vec<Coord> = edges.iter().flat_map(|e| [e.0, e.1]).collect();
-        coords.sort_unstable();
-        coords.dedup();
-        let positions = if coords.is_empty() { 1 } else { 2 * coords.len() - 1 };
-        let mut size = 1usize;
-        while size < positions {
-            size *= 2;
-        }
-        let mut nodes: Vec<Vec<(Coord, RectId)>> = vec![Vec::new(); 2 * size];
-        let pos_of = |c: Coord| -> usize { coords.binary_search(&c).unwrap() * 2 };
-        let mut incidence = 0usize;
-        for &(lo, hi, along, rect) in edges {
-            if lo >= hi {
-                continue;
-            }
-            incidence += pos_of(hi) - pos_of(lo) - 1;
-            // open interval (lo, hi) covers positions pos(lo)+1 ..= pos(hi)-1
-            let (mut l, mut r) = (pos_of(lo) + 1 + size, pos_of(hi) - 1 + size + 1);
-            while l < r {
-                if l & 1 == 1 {
-                    nodes[l].push((along, rect));
-                    l += 1;
-                }
-                if r & 1 == 1 {
-                    r -= 1;
-                    nodes[r].push((along, rect));
-                }
-                l /= 2;
-                r /= 2;
-            }
-        }
-        for node in nodes.iter_mut() {
-            node.sort_unstable();
-        }
-        // Slab fast path, gated on an O(n log n) incidence budget so the
-        // structure never degenerates to quadratic space.  The per-position
-        // lists live in one flat arena (offset array + entry array) so a
-        // query touches two contiguous allocations, not a Vec-of-Vecs.
-        let m = edges.len().max(2);
-        let budget = 4 * m * (usize::BITS - m.leading_zeros()) as usize;
-        let (slab_starts, slab_entries) = if incidence <= budget {
-            let mut slabs: Vec<Vec<(Coord, RectId)>> = vec![Vec::new(); positions];
+        let sk = dir_skeleton(edges);
+        // The per-position lists live in one flat arena (offset array +
+        // entry array) so a query touches two contiguous allocations, not a
+        // Vec-of-Vecs.
+        let (slab_starts, slab_entries) = if sk.slabs_on {
+            let pos_of = |c: Coord| -> usize { sk.coords.binary_search(&c).unwrap() * 2 };
+            let mut slabs: Vec<Vec<(Coord, RectId)>> = vec![Vec::new(); sk.positions];
             for &(lo, hi, along, rect) in edges {
                 if lo >= hi {
                     continue;
@@ -146,8 +186,8 @@ impl DirIndex {
                     slab.push((along, rect));
                 }
             }
-            let mut starts = Vec::with_capacity(positions + 1);
-            let mut entries = Vec::with_capacity(incidence);
+            let mut starts = Vec::with_capacity(sk.positions + 1);
+            let mut entries = Vec::with_capacity(sk.incidence);
             starts.push(0u32);
             for slab in slabs.iter_mut() {
                 slab.sort_unstable();
@@ -158,7 +198,128 @@ impl DirIndex {
         } else {
             (Vec::new(), Vec::new())
         };
-        DirIndex { coords, size, nodes, slab_starts, slab_entries, forward }
+        DirIndex { coords: sk.coords, size: sk.size, nodes: sk.nodes, slab_starts, slab_entries, forward }
+    }
+
+    /// Rebuild for an edited scene, copying every slab column the edit
+    /// provably cannot affect from `old` instead of refilling and re-sorting
+    /// it.  The result is **identical** (field for field) to
+    /// [`DirIndex::build`] over `edges`:
+    ///
+    /// * The coordinate compression, segment tree and incidence gate are
+    ///   recomputed fresh — they are `O(m log m)` and shape the structure.
+    /// * A position is *clean* when its geometric span (a coordinate for
+    ///   even positions, the open gap between two adjacent coordinates for
+    ///   odd ones) is disjoint from every interval in `dirty` — the closed
+    ///   perpendicular extents of all inserted and removed rectangles.  No
+    ///   inserted edge can cover a clean position (its extent lies inside a
+    ///   dirty interval), no removed edge covered the corresponding old
+    ///   position (same argument), and no old coordinate can sit strictly
+    ///   inside a clean gap (it would have to belong to a removed edge whose
+    ///   dirty interval then meets the gap) — so the old slab at the mapped
+    ///   position holds exactly the surviving edges covering the clean
+    ///   position.  Copying it with ids remapped through `old_to_new`
+    ///   reproduces the fresh slab verbatim: survivors keep their relative
+    ///   id order under compaction, so the `(along, id)` sort order is
+    ///   preserved by the remap.
+    /// * Dirty positions (and any position the mapping cannot place, e.g.
+    ///   when `old` skipped its slabs) are refilled from `edges`.
+    pub(crate) fn build_delta(
+        edges: &[(Coord, Coord, Coord, RectId)],
+        forward: bool,
+        old: &DirIndex,
+        old_to_new: &[Option<RectId>],
+        dirty: &[(Coord, Coord)],
+    ) -> (Self, SlabReuse) {
+        let sk = dir_skeleton(edges);
+        if !sk.slabs_on {
+            // The fresh build would skip the slabs too; nothing to reuse.
+            let index = DirIndex {
+                coords: sk.coords,
+                size: sk.size,
+                nodes: sk.nodes,
+                slab_starts: Vec::new(),
+                slab_entries: Vec::new(),
+                forward,
+            };
+            return (index, SlabReuse::default());
+        }
+        // Classify each position: copy its slab from the old arena, or
+        // refill it.  `None` means refill.
+        let old_range = |p: usize| -> Option<(usize, usize)> {
+            if old.slab_starts.is_empty() || old.forward != forward {
+                return None;
+            }
+            let clean = if p.is_multiple_of(2) {
+                let c = sk.coords[p / 2];
+                !dirty.iter().any(|&(lo, hi)| lo <= c && c <= hi)
+            } else {
+                let (a, b) = (sk.coords[p / 2], sk.coords[p / 2 + 1]);
+                !dirty.iter().any(|&(lo, hi)| lo < b && a < hi)
+            };
+            if !clean {
+                return None;
+            }
+            let old_pos = if p.is_multiple_of(2) {
+                2 * old.coords.binary_search(&sk.coords[p / 2]).ok()?
+            } else {
+                let j = old.coords.binary_search(&sk.coords[p / 2]).ok()?;
+                if old.coords.get(j + 1) != Some(&sk.coords[p / 2 + 1]) {
+                    return None;
+                }
+                2 * j + 1
+            };
+            let (s, e) = (old.slab_starts[old_pos] as usize, old.slab_starts[old_pos + 1] as usize);
+            // Every covering edge must have survived (it must, by the clean
+            // argument above; stay defensive rather than subtly wrong).
+            old.slab_entries[s..e]
+                .iter()
+                .all(|&(_, id)| old_to_new.get(id).copied().flatten().is_some())
+                .then_some((s, e))
+        };
+        let sources: Vec<Option<(usize, usize)>> = (0..sk.positions).map(old_range).collect();
+        // Refill only the positions that could not be copied.
+        let pos_of = |c: Coord| -> usize { sk.coords.binary_search(&c).unwrap() * 2 };
+        let mut refill: Vec<Vec<(Coord, RectId)>> = vec![Vec::new(); sk.positions];
+        for &(lo, hi, along, rect) in edges {
+            if lo >= hi {
+                continue;
+            }
+            for p in (pos_of(lo) + 1)..pos_of(hi) {
+                if sources[p].is_none() {
+                    refill[p].push((along, rect));
+                }
+            }
+        }
+        let mut starts = Vec::with_capacity(sk.positions + 1);
+        let mut entries = Vec::with_capacity(sk.incidence);
+        starts.push(0u32);
+        let mut reuse = SlabReuse::default();
+        for (p, source) in sources.iter().enumerate() {
+            match *source {
+                Some((s, e)) => {
+                    reuse.reused += 1;
+                    entries.extend(
+                        old.slab_entries[s..e].iter().map(|&(c, id)| (c, old_to_new[id].expect("checked survivor"))),
+                    );
+                }
+                None => {
+                    reuse.rebuilt += 1;
+                    refill[p].sort_unstable();
+                    entries.extend_from_slice(&refill[p]);
+                }
+            }
+            starts.push(entries.len() as u32);
+        }
+        let index = DirIndex {
+            coords: sk.coords,
+            size: sk.size,
+            nodes: sk.nodes,
+            slab_starts: starts,
+            slab_entries: entries,
+            forward,
+        };
+        (index, reuse)
     }
 
     /// Position of a query coordinate, or `None` if it is outside the range
@@ -263,6 +424,45 @@ impl ShootIndex {
             east: DirIndex::build(&east_edges, true),
             west: DirIndex::build(&west_edges, false),
         }
+    }
+
+    /// Rebuild the index for an edited scene, copying the slab columns the
+    /// edit cannot affect from `old`.  `edited` holds the geometries of every
+    /// inserted and removed rectangle (in any order); `old_to_new` maps the
+    /// previous epoch's obstacle ids to the compacted new ids (`None` for
+    /// removed rectangles).  The result is identical to
+    /// [`ShootIndex::build`] on `obstacles`; the returned [`SlabReuse`] sums
+    /// the per-direction accounting.
+    pub fn build_delta(
+        obstacles: &ObstacleSet,
+        old: &ShootIndex,
+        edited: &[Rect],
+        old_to_new: &[Option<RectId>],
+    ) -> (Self, SlabReuse) {
+        let mut north_edges = Vec::with_capacity(obstacles.len());
+        let mut south_edges = Vec::with_capacity(obstacles.len());
+        let mut east_edges = Vec::with_capacity(obstacles.len());
+        let mut west_edges = Vec::with_capacity(obstacles.len());
+        for (id, r) in obstacles.iter().enumerate() {
+            north_edges.push((r.xmin, r.xmax, r.ymin, id));
+            south_edges.push((r.xmin, r.xmax, r.ymax, id));
+            east_edges.push((r.ymin, r.ymax, r.xmin, id));
+            west_edges.push((r.ymin, r.ymax, r.xmax, id));
+        }
+        // North/south slabs are keyed on x, east/west slabs on y: a position
+        // is dirty when it meets the closed perpendicular extent of any
+        // edited rectangle.
+        let dirty_x: Vec<(Coord, Coord)> = edited.iter().map(|r| (r.xmin, r.xmax)).collect();
+        let dirty_y: Vec<(Coord, Coord)> = edited.iter().map(|r| (r.ymin, r.ymax)).collect();
+        let (north, rn) = DirIndex::build_delta(&north_edges, true, &old.north, old_to_new, &dirty_x);
+        let (south, rs) = DirIndex::build_delta(&south_edges, false, &old.south, old_to_new, &dirty_x);
+        let (east, re) = DirIndex::build_delta(&east_edges, true, &old.east, old_to_new, &dirty_y);
+        let (west, rw) = DirIndex::build_delta(&west_edges, false, &old.west, old_to_new, &dirty_y);
+        let mut reuse = rn;
+        reuse.merge(rs);
+        reuse.merge(re);
+        reuse.merge(rw);
+        (ShootIndex { north, south, east, west }, reuse)
     }
 
     /// Is the open axis-parallel segment `a`–`b` free of obstacle interiors,
@@ -408,5 +608,92 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn assert_dir_identical(delta: &DirIndex, fresh: &DirIndex, what: &str) {
+        assert_eq!(delta.coords, fresh.coords, "{what}: coords");
+        assert_eq!(delta.size, fresh.size, "{what}: size");
+        assert_eq!(delta.nodes, fresh.nodes, "{what}: tree nodes");
+        assert_eq!(delta.slab_starts, fresh.slab_starts, "{what}: slab starts");
+        assert_eq!(delta.slab_entries, fresh.slab_entries, "{what}: slab entries");
+        assert_eq!(delta.forward, fresh.forward, "{what}: forward");
+    }
+
+    fn assert_shoot_identical(delta: &ShootIndex, fresh: &ShootIndex) {
+        assert_dir_identical(&delta.north, &fresh.north, "north");
+        assert_dir_identical(&delta.south, &fresh.south, "south");
+        assert_dir_identical(&delta.east, &fresh.east, "east");
+        assert_dir_identical(&delta.west, &fresh.west, "west");
+    }
+
+    /// Random disjoint rects on an odd-coordinate grid (unit cells at odd
+    /// coordinates never touch, so insertions stay disjoint by construction).
+    fn sparse_scene(rng: &mut impl rand::Rng, n: usize) -> Vec<Rect> {
+        use std::collections::HashSet;
+        let mut cells = HashSet::new();
+        let mut rects = Vec::new();
+        while rects.len() < n {
+            let cx = rng.gen_range(-40i64..40);
+            let cy = rng.gen_range(-40i64..40);
+            if cells.insert((cx, cy)) {
+                rects.push(Rect::new(4 * cx, 4 * cy, 4 * cx + 2, 4 * cy + 2));
+            }
+        }
+        rects
+    }
+
+    #[test]
+    fn delta_build_is_field_identical_to_fresh_build() {
+        use crate::rect::SceneDelta;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for round in 0..30 {
+            let rects = sparse_scene(&mut rng, 40);
+            let obs = ObstacleSet::new(rects.clone());
+            let old = ShootIndex::build(&obs);
+            // random delta: remove a few, insert a few fresh disjoint cells
+            let mut delta = SceneDelta::default();
+            let mut removed = std::collections::HashSet::new();
+            for _ in 0..rng.gen_range(0..4) {
+                let id = rng.gen_range(0..obs.len());
+                if removed.insert(id) {
+                    delta.remove.push(id);
+                }
+            }
+            let taken: std::collections::HashSet<(Coord, Coord)> = rects.iter().map(|r| (r.xmin, r.ymin)).collect();
+            for _ in 0..rng.gen_range(0..4) {
+                let cx = rng.gen_range(-40i64..40);
+                let cy = rng.gen_range(-40i64..40);
+                let r = Rect::new(4 * cx, 4 * cy, 4 * cx + 2, 4 * cy + 2);
+                if !taken.contains(&(r.xmin, r.ymin)) && !delta.insert.contains(&r) {
+                    delta.insert.push(r);
+                }
+            }
+            let applied = obs.apply_delta(&delta).unwrap();
+            let fresh = ShootIndex::build(&applied.obstacles);
+            let (built, reuse) =
+                ShootIndex::build_delta(&applied.obstacles, &old, &applied.edited, &applied.old_to_new);
+            assert_shoot_identical(&built, &fresh);
+            if delta.is_empty() {
+                assert_eq!(reuse.rebuilt, 0, "round {round}: empty delta must reuse everything");
+            }
+        }
+    }
+
+    #[test]
+    fn far_away_edit_reuses_most_slab_columns() {
+        use crate::rect::SceneDelta;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let rects = sparse_scene(&mut rng, 200);
+        let obs = ObstacleSet::new(rects);
+        let old = ShootIndex::build(&obs);
+        // one small rect far outside the cluster
+        let delta = SceneDelta::inserting(vec![Rect::new(900, 900, 902, 902)]);
+        let applied = obs.apply_delta(&delta).unwrap();
+        let (built, reuse) = ShootIndex::build_delta(&applied.obstacles, &old, &applied.edited, &applied.old_to_new);
+        assert_shoot_identical(&built, &ShootIndex::build(&applied.obstacles));
+        let total = reuse.reused + reuse.rebuilt;
+        assert!(reuse.reused * 10 >= total * 9, "far-away insert should reuse >=90% of slab columns: {:?}", reuse);
     }
 }

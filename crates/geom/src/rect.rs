@@ -156,6 +156,115 @@ impl Rect {
 /// Identifier of an obstacle within an [`ObstacleSet`].
 pub type RectId = usize;
 
+/// A batched scene edit: rectangles to insert plus obstacle ids to remove.
+///
+/// Removals name ids of the *current* epoch's set.  Applying a delta
+/// compacts ids: survivors keep their relative order (so a surviving
+/// obstacle's new id is its old id minus the removed ids below it) and the
+/// inserted rectangles are appended in delta order.  A "move" is one delta
+/// holding both the removal of the old id and the insertion of the new
+/// geometry.  Serialisable: the `rsp-server` protocol ships deltas on the
+/// wire (`UpdateScene`, protocol v4).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SceneDelta {
+    /// Rectangles added to the scene (appended after the survivors).
+    pub insert: Vec<Rect>,
+    /// Ids (in the pre-delta set) of obstacles removed from the scene.
+    pub remove: Vec<RectId>,
+}
+
+impl SceneDelta {
+    /// A delta that only inserts.
+    pub fn inserting(rects: Vec<Rect>) -> Self {
+        SceneDelta { insert: rects, remove: Vec::new() }
+    }
+
+    /// A delta that only removes.
+    pub fn removing(ids: Vec<RectId>) -> Self {
+        SceneDelta { insert: Vec::new(), remove: ids }
+    }
+
+    /// True when the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.insert.is_empty() && self.remove.is_empty()
+    }
+}
+
+/// Why a [`SceneDelta`] could not be applied to an [`ObstacleSet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeltaError {
+    /// A removal id is not an id of the current set.
+    RemoveOutOfRange {
+        /// The offending id.
+        id: RectId,
+        /// Number of obstacles in the set the delta was applied to.
+        len: usize,
+    },
+    /// The same id appears twice in the removal list.
+    DuplicateRemove {
+        /// The repeated id.
+        id: RectId,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::RemoveOutOfRange { id, len } => {
+                write!(f, "delta removes obstacle {id}, but the scene has only {len} obstacles")
+            }
+            DeltaError::DuplicateRemove { id } => write!(f, "delta removes obstacle {id} twice"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// The result of applying a [`SceneDelta`]: the edited set plus everything a
+/// consumer needs to *reuse* work computed for the old set — the id remap in
+/// both directions and the list of rectangles whose interior occupancy
+/// changed (the removed geometries and the inserted ones).  Distances,
+/// ray-shooting slabs and escape staircases that provably avoid every edited
+/// rectangle are unaffected by the delta; the dirty-region machinery in
+/// `rsp-core` builds exactly on this contract.
+#[derive(Clone, Debug)]
+pub struct AppliedDelta {
+    /// The edited obstacle set (survivors in order, then inserts).
+    pub obstacles: ObstacleSet,
+    /// Old id → new id (`None` for removed obstacles).
+    pub old_to_new: Vec<Option<RectId>>,
+    /// New id → old id (`None` for inserted obstacles).
+    pub new_to_old: Vec<Option<RectId>>,
+    /// The closed rectangles whose interiors changed occupancy: removed
+    /// geometries followed by inserted ones.
+    pub edited: Vec<Rect>,
+    /// New ids `>= first_inserted` are inserted obstacles.
+    pub first_inserted: usize,
+}
+
+impl AppliedDelta {
+    /// Check the *edited* set for overlapping interiors in `O(k·m)` (each
+    /// inserted rectangle against every other rectangle), relying on the
+    /// base set having been disjoint — removals cannot create an overlap.
+    /// Ids in the returned violation are in the new set's numbering.
+    pub fn validate_disjoint_incremental(&self) -> Result<(), DisjointnessViolation> {
+        let rects = self.obstacles.rects();
+        for i in self.first_inserted..rects.len() {
+            for j in 0..i {
+                if rects[i].interiors_intersect(&rects[j]) {
+                    return Err(DisjointnessViolation {
+                        first: j,
+                        second: i,
+                        first_rect: rects[j],
+                        second_rect: rects[i],
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Evidence that two obstacles violate the paper's disjointness assumption:
 /// the offending pair of rectangle ids together with the rectangles
 /// themselves, as reported by [`ObstacleSet::validate_disjoint`].
@@ -311,6 +420,49 @@ impl ObstacleSet {
     /// Restrict to a subset of obstacle ids (preserving order).
     pub fn subset(&self, ids: &[RectId]) -> ObstacleSet {
         ObstacleSet::new(ids.iter().map(|&i| self.rects[i]).collect())
+    }
+
+    /// Apply a [`SceneDelta`]: drop the removed ids, keep the survivors in
+    /// their relative order, append the inserted rectangles.  Fails (without
+    /// building anything) when a removal id is out of range or repeated.
+    /// Does not validate disjointness of the result — callers holding a
+    /// validated base set use
+    /// [`AppliedDelta::validate_disjoint_incremental`], which is `O(k·m)`
+    /// instead of `O(m^2)`.
+    pub fn apply_delta(&self, delta: &SceneDelta) -> Result<AppliedDelta, DeltaError> {
+        let n_old = self.rects.len();
+        let mut removed = vec![false; n_old];
+        for &id in &delta.remove {
+            if id >= n_old {
+                return Err(DeltaError::RemoveOutOfRange { id, len: n_old });
+            }
+            if removed[id] {
+                return Err(DeltaError::DuplicateRemove { id });
+            }
+            removed[id] = true;
+        }
+        let n_new = n_old - delta.remove.len() + delta.insert.len();
+        let mut rects = Vec::with_capacity(n_new);
+        let mut old_to_new = Vec::with_capacity(n_old);
+        let mut new_to_old = Vec::with_capacity(n_new);
+        let mut edited = Vec::with_capacity(delta.remove.len() + delta.insert.len());
+        for (id, &r) in self.rects.iter().enumerate() {
+            if removed[id] {
+                old_to_new.push(None);
+                edited.push(r);
+            } else {
+                old_to_new.push(Some(rects.len()));
+                new_to_old.push(Some(id));
+                rects.push(r);
+            }
+        }
+        let first_inserted = rects.len();
+        for &r in &delta.insert {
+            new_to_old.push(None);
+            edited.push(r);
+            rects.push(r);
+        }
+        Ok(AppliedDelta { obstacles: ObstacleSet::new(rects), old_to_new, new_to_old, edited, first_inserted })
     }
 
     /// A stable, order-independent 64-bit hash of the scene geometry.
@@ -488,5 +640,59 @@ mod tests {
         assert!(set.is_empty());
         assert_eq!(set.bbox(), None);
         assert!(set.segment_clear(pt(0, 0), pt(100, 0)));
+    }
+
+    #[test]
+    fn apply_delta_compacts_ids_and_reports_edits() {
+        let set = ObstacleSet::new(vec![r(0, 0, 1, 1), r(2, 2, 3, 3), r(4, 4, 5, 5)]);
+        let delta = SceneDelta { insert: vec![r(6, 6, 7, 7)], remove: vec![1] };
+        assert!(!delta.is_empty());
+        let applied = set.apply_delta(&delta).unwrap();
+        assert_eq!(applied.obstacles.rects(), &[r(0, 0, 1, 1), r(4, 4, 5, 5), r(6, 6, 7, 7)]);
+        assert_eq!(applied.old_to_new, vec![Some(0), None, Some(1)]);
+        assert_eq!(applied.new_to_old, vec![Some(0), Some(2), None]);
+        assert_eq!(applied.edited, vec![r(2, 2, 3, 3), r(6, 6, 7, 7)]);
+        assert_eq!(applied.first_inserted, 2);
+        assert!(applied.validate_disjoint_incremental().is_ok());
+        // Hash agrees with building the edited set from scratch.
+        assert_eq!(applied.obstacles.scene_hash(), ObstacleSet::new(applied.obstacles.rects().to_vec()).scene_hash());
+    }
+
+    #[test]
+    fn apply_delta_rejects_bad_removals() {
+        let set = ObstacleSet::new(vec![r(0, 0, 1, 1)]);
+        assert_eq!(
+            set.apply_delta(&SceneDelta::removing(vec![3])).err(),
+            Some(DeltaError::RemoveOutOfRange { id: 3, len: 1 })
+        );
+        assert_eq!(
+            set.apply_delta(&SceneDelta::removing(vec![0, 0])).err(),
+            Some(DeltaError::DuplicateRemove { id: 0 })
+        );
+        let msg = DeltaError::RemoveOutOfRange { id: 3, len: 1 }.to_string();
+        assert!(msg.contains("obstacle 3"), "{msg}");
+    }
+
+    #[test]
+    fn incremental_disjointness_names_the_new_pair() {
+        let set = ObstacleSet::new(vec![r(0, 0, 4, 4), r(10, 10, 12, 12)]);
+        let applied = set.apply_delta(&SceneDelta::inserting(vec![r(3, 3, 8, 8)])).unwrap();
+        let v = applied.validate_disjoint_incremental().unwrap_err();
+        assert_eq!((v.first, v.second), (0, 2));
+        assert_eq!(v.second_rect, r(3, 3, 8, 8));
+        // Inserted rectangles are also checked against each other.
+        let applied = set.apply_delta(&SceneDelta::inserting(vec![r(20, 20, 24, 24), r(23, 23, 26, 26)])).unwrap();
+        let v = applied.validate_disjoint_incremental().unwrap_err();
+        assert_eq!((v.first, v.second), (2, 3));
+    }
+
+    #[test]
+    fn insert_then_remove_restores_the_scene_hash() {
+        let set = ObstacleSet::new(vec![r(0, 0, 2, 2), r(4, 4, 6, 6)]);
+        let base = set.scene_hash();
+        let grown = set.apply_delta(&SceneDelta::inserting(vec![r(10, 0, 12, 2)])).unwrap().obstacles;
+        assert_ne!(grown.scene_hash(), base);
+        let back = grown.apply_delta(&SceneDelta::removing(vec![2])).unwrap().obstacles;
+        assert_eq!(back.scene_hash(), base, "insert-then-remove must round-trip the session key");
     }
 }

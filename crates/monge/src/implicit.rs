@@ -156,6 +156,46 @@ impl BlockCache {
         }
     }
 
+    /// Seed the cache with an already-built block, without counting a hit or
+    /// a miss (the block was not requested — it was *carried over*, e.g. from
+    /// a previous epoch's cache during a scene edit).  Replaces any resident
+    /// block under the same key, then enforces the budget.
+    pub fn seed(&mut self, key: u64, data: Arc<[Entry]>) {
+        self.tick += 1;
+        let bytes = std::mem::size_of_val(&data[..]);
+        if let Some(old) = self.blocks.insert(key, Block { data, bytes, last_used: self.tick, pins: 0 }) {
+            self.resident_bytes = self.resident_bytes.saturating_sub(old.bytes);
+            if old.pins > 0 {
+                self.pinned_bytes = self.pinned_bytes.saturating_sub(old.bytes);
+            }
+        }
+        self.resident_bytes = self.resident_bytes.saturating_add(bytes);
+        self.enforce_budget(key);
+    }
+
+    /// Drop every resident block for which `keep` returns false.  Returns
+    /// how many blocks were dropped.  Invalidations are not evictions (the
+    /// blocks did not lose a budget race — they became wrong) so the
+    /// eviction counter is untouched.
+    pub fn invalidate_if(&mut self, mut keep: impl FnMut(u64, &[Entry]) -> bool) -> usize {
+        let doomed: Vec<u64> = self.blocks.iter().filter(|&(&k, b)| !keep(k, &b.data)).map(|(&k, _)| k).collect();
+        for k in &doomed {
+            let gone = self.blocks.remove(k).expect("doomed key was just observed");
+            self.resident_bytes = self.resident_bytes.saturating_sub(gone.bytes);
+            if gone.pins > 0 {
+                self.pinned_bytes = self.pinned_bytes.saturating_sub(gone.bytes);
+            }
+        }
+        doomed.len()
+    }
+
+    /// Snapshot of every resident block (key, data), in unspecified order.
+    /// Cheap: clones the `Arc`s, not the entries.  Does not touch LRU slots
+    /// or counters — enumeration is not a request.
+    pub fn snapshot(&self) -> Vec<(u64, Arc<[Entry]>)> {
+        self.blocks.iter().map(|(&k, b)| (k, Arc::clone(&b.data))).collect()
+    }
+
     /// Bytes currently held by resident blocks.
     pub fn resident_bytes(&self) -> usize {
         self.resident_bytes
@@ -435,6 +475,57 @@ mod tests {
         cache.unpin(1);
         assert_eq!(cache.stats().pinned_bytes, 0);
         assert!(cache.resident_bytes() <= 2 * row_bytes, "deferred evictions ran");
+    }
+
+    #[test]
+    fn seed_and_invalidate_carry_blocks_without_counting_requests() {
+        let row_bytes = 4 * std::mem::size_of::<Entry>();
+        let mut cache = BlockCache::new(8 * row_bytes);
+        for k in 0..4u64 {
+            cache.seed(k, vec![k as Entry; 4].into());
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (0, 0, 0));
+        assert_eq!(cache.resident_bytes(), 4 * row_bytes);
+        // Re-seeding a key replaces without double counting bytes.
+        cache.seed(2, vec![9; 4].into());
+        assert_eq!(cache.resident_bytes(), 4 * row_bytes);
+        assert_eq!(cache.peek(2).unwrap()[0], 9);
+        // Snapshot enumerates everything without touching counters.
+        let mut keys: Vec<u64> = cache.snapshot().into_iter().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![0, 1, 2, 3]);
+        // Invalidate odd keys; stale blocks leave residency but are not
+        // "evictions".
+        let dropped = cache.invalidate_if(|k, _| k % 2 == 0);
+        assert_eq!(dropped, 2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.resident_bytes(), 2 * row_bytes);
+        assert_eq!(cache.stats().evictions, 0);
+        assert!(cache.peek(1).is_none());
+    }
+
+    #[test]
+    fn invalidating_a_pinned_block_releases_its_pinned_bytes() {
+        let row_bytes = 4 * std::mem::size_of::<Entry>();
+        let mut cache = BlockCache::new(8 * row_bytes);
+        cache.seed(0, vec![0; 4].into());
+        cache.pin(0);
+        assert_eq!(cache.pinned_bytes(), row_bytes);
+        assert_eq!(cache.invalidate_if(|_, _| false), 1);
+        assert_eq!(cache.pinned_bytes(), 0);
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn seeding_past_the_budget_still_enforces_it() {
+        let row_bytes = 4 * std::mem::size_of::<Entry>();
+        let mut cache = BlockCache::new(2 * row_bytes);
+        for k in 0..6u64 {
+            cache.seed(k, vec![k as Entry; 4].into());
+        }
+        assert!(cache.resident_bytes() <= 2 * row_bytes);
+        assert!(cache.peek(5).is_some(), "the newest seed survives its own insertion");
     }
 
     #[test]

@@ -16,15 +16,18 @@
 //! points, rectangle pairs, scene ids) rather than stringified summaries.
 
 use rsp_core::RspError;
-use rsp_geom::{DisjointnessViolation, Dist, ObstacleSet, Point, RectId, RectiPath};
+use rsp_geom::{DeltaError, DisjointnessViolation, Dist, ObstacleSet, Point, RectId, RectiPath, SceneDelta};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
 /// Version byte prefixed to every frame.  Bump on any wire-visible change.
 /// (v2: [`CacheStats`] gained the `resident_bytes` distance-store field.
 /// v3: [`ShardStats`] gained `stores`, the per-session distance-store
-/// breakdown of [`SessionStoreStats`].)
-pub const PROTOCOL_VERSION: u8 = 3;
+/// breakdown of [`SessionStoreStats`].  v4: [`Request::UpdateScene`] /
+/// [`Response::SceneUpdated`] incremental scene editing, the
+/// [`ServerError::InvalidDelta`] mirror, and [`SessionStoreStats`] gained
+/// `epoch` plus the delta-reuse counters.)
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Upper bound on a frame's payload length in bytes (16 MiB).
 pub const MAX_FRAME_LEN: u32 = 16 << 20;
@@ -77,6 +80,20 @@ pub enum Request {
         /// Vertex pairs; the response is index-aligned.
         pairs: Vec<(Point, Point)>,
     },
+    /// Edit a resident scene: apply a [`SceneDelta`] to the session loaded
+    /// for `base`, producing a **new** scene (addressable by its own
+    /// [`SceneId`]) whose session is built by
+    /// [`Router::apply_delta`](rsp_core::router::Router::apply_delta) — an
+    /// epoch-versioned delta rebuild that reuses every substructure the edit
+    /// provably cannot affect.  The base scene stays resident and queryable;
+    /// in-flight queries on it are unaffected.  Editing the same base twice
+    /// with the same delta is idempotent (the result hashes to the same id).
+    UpdateScene {
+        /// Scene to edit (from a prior `LoadScene` or `UpdateScene`).
+        base: SceneId,
+        /// The edit to apply.
+        delta: SceneDelta,
+    },
     /// Snapshot the server's session-cache and admission-queue statistics.
     Stats,
     /// Drop a scene's cached session, freeing its substructures.
@@ -116,6 +133,16 @@ pub enum Response {
     Paths {
         /// Shortest paths.
         paths: Vec<RectiPath>,
+    },
+    /// Answer to [`Request::UpdateScene`]: the edited scene is resident.
+    SceneUpdated {
+        /// Cache key of the *edited* scene for subsequent queries.
+        scene: SceneId,
+        /// Number of obstacles in the edited scene.
+        obstacles: usize,
+        /// The edited session's epoch (base epoch + 1; 0 would mean a scene
+        /// built from scratch).
+        epoch: u64,
     },
     /// Answer to [`Request::Stats`].
     Stats {
@@ -173,6 +200,11 @@ pub enum ServerError {
         /// The underlying pool-construction failure.
         message: String,
     },
+    /// Mirror of [`RspError::InvalidDelta`].
+    InvalidDelta {
+        /// Why the delta is malformed.
+        error: DeltaError,
+    },
     /// A query referenced a scene that is not resident (never loaded, or
     /// evicted by the LRU bound); the client should re-send `LoadScene`.
     UnknownScene {
@@ -210,6 +242,7 @@ impl From<RspError> for ServerError {
             RspError::PointOutsideContainer(point) => ServerError::PointOutsideContainer { point },
             RspError::PointInsideObstacle { point, obstacle } => ServerError::PointInsideObstacle { point, obstacle },
             RspError::ThreadPool(message) => ServerError::ThreadPool { message },
+            RspError::InvalidDelta(error) => ServerError::InvalidDelta { error },
         }
     }
 }
@@ -229,6 +262,7 @@ impl ServerError {
                 Some(RspError::PointInsideObstacle { point, obstacle })
             }
             ServerError::ThreadPool { message } => Some(RspError::ThreadPool(message)),
+            ServerError::InvalidDelta { error } => Some(RspError::InvalidDelta(error)),
             ServerError::UnknownScene { .. } | ServerError::ShuttingDown => None,
         }
     }
@@ -288,6 +322,18 @@ pub struct SessionStoreStats {
     pub row_misses: u64,
     /// Distance rows evicted to respect the byte budget.
     pub row_evictions: u64,
+    /// The session's epoch: 0 for a scene built from scratch, parent + 1 for
+    /// a session produced by [`Request::UpdateScene`].
+    pub epoch: u64,
+    /// Distance rows the delta build carried over from the base epoch
+    /// ([`BuildCounts::rows_reused`](rsp_core::router::BuildCounts)).
+    pub rows_reused: u64,
+    /// Distance rows the delta build dropped or re-swept.
+    pub rows_rebuilt: u64,
+    /// Escape staircases carried over from the base epoch.
+    pub chains_reused: u64,
+    /// Escape staircases re-traced after the edit.
+    pub chains_rebuilt: u64,
 }
 
 /// One shard's statistics.
@@ -440,6 +486,10 @@ mod tests {
         roundtrip(&Request::Path { scene: 7, source: Point::new(0, 0), target: Point::new(2, 2) });
         roundtrip(&Request::BatchDistances { scene: u64::MAX, pairs: pairs.clone() });
         roundtrip(&Request::BatchPaths { scene: 1, pairs });
+        roundtrip(&Request::UpdateScene {
+            base: 42,
+            delta: SceneDelta { insert: vec![Rect::new(10, 10, 12, 12)], remove: vec![0] },
+        });
         roundtrip(&Request::Stats);
         roundtrip(&Request::Evict { scene: 3 });
     }
@@ -447,6 +497,7 @@ mod tests {
     #[test]
     fn every_response_variant_roundtrips() {
         roundtrip(&Response::SceneLoaded { scene: 11, obstacles: 2 });
+        roundtrip(&Response::SceneUpdated { scene: 12, obstacles: 3, epoch: 2 });
         roundtrip(&Response::Distance { length: -7 });
         roundtrip(&Response::Path { path: RectiPath::new(vec![Point::new(0, 0), Point::new(0, 4), Point::new(3, 4)]) });
         roundtrip(&Response::Distances { lengths: vec![1, 2, 3] });
@@ -464,12 +515,20 @@ mod tests {
                     row_hits: 8,
                     row_misses: 9,
                     row_evictions: 10,
+                    epoch: 2,
+                    rows_reused: 30,
+                    rows_rebuilt: 2,
+                    chains_reused: 120,
+                    chains_rebuilt: 8,
                 }],
             }],
         };
         roundtrip(&Response::Stats { stats });
         roundtrip(&Response::Evicted { existed: true });
         roundtrip(&Response::Error { error: ServerError::UnknownScene { scene: 99 } });
+        roundtrip(&Response::Error {
+            error: ServerError::InvalidDelta { error: DeltaError::DuplicateRemove { id: 4 } },
+        });
     }
 
     #[test]

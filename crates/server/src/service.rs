@@ -11,7 +11,7 @@ use crate::protocol::{Request, Response, SceneId, ServerError, ServerStats};
 use crate::shard::ShardSet;
 use rsp_core::router::{Engine, Router};
 use rsp_core::store::StoreKind;
-use rsp_geom::{Dist, ObstacleSet, Point, RectiPath};
+use rsp_geom::{Dist, ObstacleSet, Point, RectiPath, SceneDelta};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -76,6 +76,22 @@ impl RspService {
         self.shards.shard_for(scene).sessions.lookup(scene)
     }
 
+    /// Edit a resident scene: resolve the session for `base`, derive the new
+    /// epoch's session with [`Router::apply_delta`] (substructure-reusing,
+    /// bitwise-faithful), and adopt it into the cache under the edited
+    /// geometry's own scene hash — which may live on a *different* shard
+    /// than the base, since shards are keyed by content hash.  Returns the
+    /// new scene id, its obstacle count and the adopted session's epoch.
+    /// The base session stays resident and queryable throughout.
+    pub fn update_scene(&self, base: SceneId, delta: &SceneDelta) -> Result<(SceneId, usize, u64), ServerError> {
+        let base_router = self.shards.shard_for(base).sessions.lookup(base)?;
+        let edited = Arc::new(base_router.apply_delta(delta).map_err(ServerError::from)?);
+        let obstacles = edited.instance().obstacles_arc();
+        let scene = obstacles.scene_hash();
+        let session = self.shards.shard_for(scene).sessions.adopt(scene, obstacles, edited)?;
+        Ok((scene, session.instance().obstacles().len(), session.epoch()))
+    }
+
     /// One point-to-point length query, coalesced with concurrent queries on
     /// the same shard into a single `Router` batch.
     pub fn distance(&self, scene: SceneId, a: Point, b: Point) -> Result<Dist, ServerError> {
@@ -137,6 +153,10 @@ impl RspService {
             },
             Request::BatchPaths { scene, pairs } => match self.batch_paths(scene, &pairs) {
                 Ok(paths) => Response::Paths { paths },
+                Err(error) => Response::Error { error },
+            },
+            Request::UpdateScene { base, delta } => match self.update_scene(base, &delta) {
+                Ok((scene, obstacles, epoch)) => Response::SceneUpdated { scene, obstacles, epoch },
                 Err(error) => Response::Error { error },
             },
             Request::Stats => Response::Stats { stats: self.stats() },
@@ -240,6 +260,54 @@ mod tests {
         assert_eq!(dense_stores.len(), 1);
         assert_eq!(dense_stores[0].resident_bytes, d_bytes);
         assert_eq!(dense_stores[0].row_misses, 0, "dense rows never sweep");
+    }
+
+    #[test]
+    fn update_scene_edits_in_place_and_keeps_the_base_resident() {
+        // Several shards, so base and edited scenes routinely land on
+        // different ones — adopt must cross shards by content hash.
+        let svc = service(4);
+        let w = uniform_disjoint(10, 23);
+        let base = svc.load_scene(&w.obstacles).unwrap();
+        // Warm the base session so the edit has substructures to carry.
+        let pairs = query_pairs(&w.obstacles, 8, true, 7);
+        let base_answers = svc.batch_distances(base, &pairs).unwrap();
+        let delta = SceneDelta::inserting(vec![Rect::new(2000, 2000, 2004, 2004)]);
+        let (edited, n_obstacles, epoch) = svc.update_scene(base, &delta).unwrap();
+        assert_eq!(n_obstacles, w.n() + 1);
+        assert_eq!(epoch, 1);
+        assert_ne!(edited, base);
+        // Content addressing: the edited id is the edited geometry's hash,
+        // and re-sending the same edit resolves to the same resident session.
+        let edited_set = w.obstacles.apply_delta(&delta).unwrap().obstacles;
+        assert_eq!(edited, edited_set.scene_hash());
+        let again = svc.update_scene(base, &delta).unwrap();
+        assert_eq!(again, (edited, n_obstacles, epoch));
+        assert!(Arc::ptr_eq(&svc.session(edited).unwrap(), &svc.session(edited).unwrap()));
+        // The base keeps answering, unchanged.
+        assert_eq!(svc.batch_distances(base, &pairs).unwrap(), base_answers);
+        // The edited session answers bitwise like a from-scratch build.
+        let direct = Router::new(edited_set.clone()).unwrap();
+        let edited_pairs = query_pairs(&edited_set, 16, true, 9);
+        assert_eq!(svc.batch_distances(edited, &edited_pairs).unwrap(), direct.distances(&edited_pairs).unwrap());
+        // Stats report the epoch and the delta-reuse counters on the wire.
+        let stores: Vec<_> = svc.stats().shards.into_iter().flat_map(|s| s.stores).collect();
+        let base_store = stores.iter().find(|s| s.scene == base).unwrap();
+        let edited_store = stores.iter().find(|s| s.scene == edited).unwrap();
+        assert_eq!(base_store.epoch, 0);
+        assert_eq!(edited_store.epoch, 1);
+        assert!(edited_store.rows_reused > 0, "far insert should carry rows: {edited_store:?}");
+        // A malformed delta comes back as the typed wire error.
+        let bad = SceneDelta::removing(vec![99]);
+        match svc.handle(Request::UpdateScene { base, delta: bad }) {
+            Response::Error { error: ServerError::InvalidDelta { .. } } => {}
+            other => panic!("expected invalid-delta error, got {other:?}"),
+        }
+        // Editing an unknown scene reports UnknownScene.
+        assert_eq!(
+            svc.update_scene(0xdead, &SceneDelta::default()).err(),
+            Some(ServerError::UnknownScene { scene: 0xdead })
+        );
     }
 
     #[test]

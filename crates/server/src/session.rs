@@ -198,6 +198,57 @@ impl SessionCache {
         inner.stats.resident = inner.entries.len() as u64;
     }
 
+    /// Insert an *already-built* session under `scene` — the delta-rebuild
+    /// path of `UpdateScene`, where the router came out of
+    /// [`Router::apply_delta`] on a base session (possibly resident on a
+    /// different shard) rather than out of this cache's own build closure.
+    /// Counts as a miss (a session construction).  If the scene is already
+    /// resident, the existing session wins and is returned instead — edits
+    /// are content-addressed, so two routes to the same geometry must keep
+    /// resolving to one session.
+    pub fn adopt(
+        &self,
+        scene: SceneId,
+        obstacles: Arc<ObstacleSet>,
+        router: Arc<Router>,
+    ) -> Result<Arc<Router>, ServerError> {
+        let (cell, stored) = {
+            let mut inner = self.inner.lock().expect("session cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.entries.get_mut(&scene) {
+                Some(entry) => {
+                    entry.last_used = tick;
+                    let hit = (Arc::clone(&entry.cell), Arc::clone(&entry.obstacles));
+                    inner.stats.hits += 1;
+                    hit
+                }
+                None => {
+                    inner.stats.misses += 1;
+                    if inner.entries.len() >= self.capacity {
+                        if let Some((&victim, _)) = inner.entries.iter().min_by_key(|(_, e)| e.last_used) {
+                            inner.entries.remove(&victim);
+                            inner.stats.evictions += 1;
+                        }
+                    }
+                    let cell: SessionCell = Arc::new(OnceLock::new());
+                    let _ = cell.set(Ok(Arc::clone(&router)));
+                    inner.entries.insert(
+                        scene,
+                        Entry { cell: Arc::clone(&cell), obstacles: Arc::clone(&obstacles), last_used: tick },
+                    );
+                    inner.stats.resident = inner.entries.len() as u64;
+                    (cell, obstacles)
+                }
+            }
+        };
+        // An existing entry may still be mid-build; resolve like any other
+        // resolution so we return whatever session the scene settles on.
+        let result = self.resolve(&cell, &stored);
+        self.enforce_budget(scene);
+        result
+    }
+
     /// Drop a scene's session.  Returns whether it was resident.  In-flight
     /// queries holding the `Arc<Router>` keep it alive until they finish.
     pub fn evict(&self, scene: SceneId) -> bool {
@@ -229,6 +280,7 @@ impl SessionCache {
             .filter_map(|(&scene, entry)| match entry.cell.get() {
                 Some(Ok(router)) => {
                     let s = router.memory_stats();
+                    let counts = router.build_counts();
                     Some(SessionStoreStats {
                         scene,
                         resident_bytes: s.resident_bytes as u64,
@@ -238,6 +290,11 @@ impl SessionCache {
                         row_hits: s.row_hits,
                         row_misses: s.row_misses,
                         row_evictions: s.row_evictions,
+                        epoch: router.epoch(),
+                        rows_reused: counts.rows_reused as u64,
+                        rows_rebuilt: counts.rows_rebuilt as u64,
+                        chains_reused: counts.chains_reused as u64,
+                        chains_rebuilt: counts.chains_rebuilt as u64,
                     })
                 }
                 _ => None,

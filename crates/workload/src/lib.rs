@@ -14,11 +14,14 @@
 //!   detours and path-length `k`, E6);
 //! * [`aspect_stress`] — extreme aspect-ratio rectangles;
 //! * [`query_pairs`] — random query point pairs, optionally snapped to
-//!   obstacle vertices (E5).
+//!   obstacle vertices (E5);
+//! * [`edit_stream`] — seeded incremental-edit traces (insert / remove /
+//!   move) that stay disjoint step by step, driving the scene-editing
+//!   experiments (E15) and the `apply_delta` certification tests.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rsp_geom::{ObstacleSet, Point, Rect};
+use rsp_geom::{ObstacleSet, Point, Rect, SceneDelta};
 use serde::{Deserialize, Serialize};
 
 /// A generated workload with its provenance, serialisable for replay.
@@ -158,6 +161,66 @@ pub fn query_pairs(obstacles: &ObstacleSet, count: usize, snap_to_vertices: bool
     (0..count).map(|_| (sample_point(&mut rng), sample_point(&mut rng))).collect()
 }
 
+/// A seeded trace of incremental scene edits (ECO-style: engineering change
+/// orders over a fixed floorplan).  Each [`SceneDelta`] is expressed against
+/// the scene produced by applying all the deltas before it — the same
+/// convention as chaining
+/// [`Router::apply_delta`](../rsp_core/router/struct.Router.html#method.apply_delta)
+/// session to session — and every step keeps the scene pairwise-disjoint, so
+/// the whole trace replays without validation errors on any base produced by
+/// [`uniform_disjoint`], [`clustered`] or [`corridors`].
+///
+/// The mix is roughly 40% inserts, 30% removals and 30% moves (a removal
+/// plus a re-insertion of the same rectangle translated by a small jitter,
+/// in *one* delta).  Insert placements rejection-sample inside the slightly
+/// expanded bounding box; a placement that cannot find free space after a
+/// bounded number of tries falls outside the box to the east, so the stream
+/// always has exactly `edits` steps.
+pub fn edit_stream(base: &ObstacleSet, edits: usize, seed: u64) -> Vec<SceneDelta> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current = base.clone();
+    let mut overflow = 0i64; // next free slot east of the bbox
+    let mut stream = Vec::with_capacity(edits);
+    for _ in 0..edits {
+        let bbox = current.bbox().unwrap_or(Rect::new(0, 0, 64, 64)).expand(16);
+        let disjoint_from_all = |scene: &ObstacleSet, cand: &Rect, skip: Option<usize>| {
+            scene.iter().enumerate().all(|(i, r)| Some(i) == skip || !r.interiors_intersect(cand))
+        };
+        let mut place = |rng: &mut StdRng, current: &ObstacleSet, near: Option<Rect>, skip: Option<usize>| -> Rect {
+            for _ in 0..64 {
+                let w = rng.gen_range(2i64..=8);
+                let h = rng.gen_range(2i64..=8);
+                let (x0, y0) = match near {
+                    // A move jitters within a small window around the old
+                    // geometry; a plain insert samples the whole box.
+                    Some(r) => (r.xmin + rng.gen_range(-24i64..=24), r.ymin + rng.gen_range(-24i64..=24)),
+                    None => (rng.gen_range(bbox.xmin..bbox.xmax - w), rng.gen_range(bbox.ymin..bbox.ymax - h)),
+                };
+                let cand = Rect::new(x0, y0, x0 + w, y0 + h);
+                if disjoint_from_all(current, &cand, skip) {
+                    return cand;
+                }
+            }
+            // Crowded scene: fall out of the bbox where space is guaranteed.
+            overflow += 12;
+            Rect::new(bbox.xmax + overflow, bbox.ymin, bbox.xmax + overflow + 4, bbox.ymin + 4)
+        };
+        let roll = rng.gen_range(0u32..10);
+        let delta = if current.is_empty() || roll < 4 {
+            SceneDelta::inserting(vec![place(&mut rng, &current, None, None)])
+        } else if roll < 7 {
+            SceneDelta::removing(vec![rng.gen_range(0..current.len())])
+        } else {
+            let id = rng.gen_range(0..current.len());
+            let old = current.rects()[id];
+            SceneDelta { insert: vec![place(&mut rng, &current, Some(old), Some(id))], remove: vec![id] }
+        };
+        current = current.apply_delta(&delta).expect("edit_stream keeps the scene valid").obstacles;
+        stream.push(delta);
+    }
+    stream
+}
+
 fn shuffle<T>(v: &mut [T], rng: &mut StdRng) {
     for i in (1..v.len()).rev() {
         let j = rng.gen_range(0..=i);
@@ -210,6 +273,36 @@ mod tests {
         for (a, b) in vs {
             assert!(vertices.contains(&a) && vertices.contains(&b));
         }
+    }
+
+    #[test]
+    fn edit_streams_replay_validly_on_every_base_family() {
+        for base in [uniform_disjoint(20, 3).obstacles, clustered(24, 3, 4).obstacles, corridors(6, 60, 5).obstacles] {
+            let stream = edit_stream(&base, 40, 11);
+            assert_eq!(stream.len(), 40);
+            let mut scene = base.clone();
+            for delta in &stream {
+                scene = scene.apply_delta(delta).expect("every step applies cleanly").obstacles;
+                assert!(scene.validate_disjoint().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn edit_streams_are_deterministic_and_mixed() {
+        let base = uniform_disjoint(16, 7).obstacles;
+        assert_eq!(edit_stream(&base, 30, 9), edit_stream(&base, 30, 9));
+        assert_ne!(edit_stream(&base, 30, 9), edit_stream(&base, 30, 10));
+        let stream = edit_stream(&base, 60, 9);
+        // All three edit kinds occur: pure inserts, pure removals, and moves
+        // (remove + insert in one delta).
+        assert!(stream.iter().any(|d| !d.insert.is_empty() && d.remove.is_empty()));
+        assert!(stream.iter().any(|d| d.insert.is_empty() && !d.remove.is_empty()));
+        assert!(stream.iter().any(|d| !d.insert.is_empty() && !d.remove.is_empty()));
+        // Deltas serialise (they travel over the rsp-server wire).
+        let json = serde_json::to_string(&stream).unwrap();
+        let back: Vec<SceneDelta> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stream);
     }
 
     #[test]

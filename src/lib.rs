@@ -81,4 +81,7 @@ pub use rsp_core::router::{BuildCounts, Engine, Router, RouterBuilder};
 pub use rsp_core::store::{StoreKind, StoreStats};
 pub use rsp_core::trace::EscapeKind;
 pub use rsp_core::RspError;
-pub use rsp_geom::{Chain, Coord, DisjointnessViolation, Dist, ObstacleSet, Point, Rect, RectiPath, StairRegion, INF};
+pub use rsp_geom::{
+    Chain, Coord, DeltaError, DisjointnessViolation, Dist, ObstacleSet, Point, Rect, RectiPath, SceneDelta,
+    StairRegion, INF,
+};

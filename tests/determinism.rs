@@ -100,6 +100,54 @@ fn every_engine_is_bitwise_deterministic_across_thread_counts() {
     }
 }
 
+/// Delta-built sessions are part of the determinism contract too: after a
+/// scene edit ([`Router::apply_delta`]), every engine × thread count × store
+/// must serve the *edited* scene bitwise-identically — the carried
+/// substructures (distance rows, escape staircases, slab columns) must not
+/// leak any base-epoch or scheduling-order artifact into an answer.
+#[test]
+fn edited_sessions_are_bitwise_deterministic_across_the_matrix() {
+    use rectilinear_shortest_paths::workload::edit_stream;
+    let base = uniform_disjoint(7, 31).obstacles;
+    let delta = &edit_stream(&base, 1, 17)[0];
+    let edited_scene = base.apply_delta(delta).expect("stream delta applies").obstacles;
+    let pairs = mixed_batch(&edited_scene, 55);
+    let vertex_pairs = query_pairs(&edited_scene, 10, true, 66);
+    for engine in [Engine::Sequential, Engine::DivideAndConquer, Engine::HananBaseline] {
+        let mut reference: Option<(Vec<Dist>, Vec<RectiPath>)> = None;
+        for threads in thread_counts() {
+            for store in store_kinds(&base) {
+                let parent = Router::builder(base.clone())
+                    .engine(engine)
+                    .threads(threads)
+                    .store(store)
+                    .build()
+                    .expect("valid scene");
+                // Warm the parent so the delta build has something to carry.
+                let _ = parent.distances(&query_pairs(&base, 4, true, 7)).expect("warm batch");
+                let session = parent.apply_delta(delta).expect("edit applies");
+                let result = (
+                    session.distances(&pairs).expect("distance batch"),
+                    session.paths(&vertex_pairs).expect("path batch"),
+                );
+                match &reference {
+                    None => reference = Some(result),
+                    Some((dist0, paths0)) => {
+                        assert_eq!(
+                            &result.0, dist0,
+                            "edited {engine:?}/{store:?}: distances diverge at {threads} threads"
+                        );
+                        assert_eq!(
+                            &result.1, paths0,
+                            "edited {engine:?}/{store:?}: paths diverge at {threads} threads"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// `Engine::Auto` resolves to different engines at different thread counts
 /// (Sequential at 1, DivideAndConquer otherwise), so paths may legitimately
 /// differ in shape — but distances are ground truth and must agree, and
